@@ -1,0 +1,258 @@
+package zkflow_test
+
+// Benchmarks regenerating the paper's evaluation artifacts (one per
+// table/figure; see DESIGN.md §4 for the experiment index). Paper
+// sizes run up to 3000 records via cmd/zkflow-bench; the testing.B
+// variants default to a ladder that keeps `go test -bench=.` fast.
+
+import (
+	"fmt"
+	"testing"
+
+	"zkflow/internal/clog"
+	"zkflow/internal/fastagg"
+	"zkflow/internal/gperm"
+	"zkflow/internal/guest"
+	"zkflow/internal/ledger"
+	"zkflow/internal/merkle"
+	"zkflow/internal/query"
+	"zkflow/internal/stark"
+	"zkflow/internal/trafficgen"
+	"zkflow/internal/vmtree"
+	"zkflow/internal/zkvm"
+)
+
+var benchSizes = []int{50, 100, 500, 1000}
+
+// genesisInput mirrors the paper's 4-router topology for one round.
+func genesisInput(seed int64, records int) *guest.AggInput {
+	const routers = 4
+	gens := trafficgen.PerRouter(trafficgen.Config{
+		Seed: seed, NumFlows: records, Routers: routers, LossRate: 0.02,
+	})
+	in := &guest.AggInput{}
+	per := records / routers
+	for i, g := range gens {
+		n := per
+		if i == routers-1 {
+			n = records - per*(routers-1)
+		}
+		recs := g.Batch(uint32(i), 0, n)
+		in.Routers = append(in.Routers, guest.RouterBatch{
+			ID:         uint32(i),
+			Commitment: vmtree.FromBytes(ledger.CommitRecords(recs)),
+			Records:    recs,
+		})
+	}
+	return in
+}
+
+func entriesOf(in *guest.AggInput) []clog.Entry {
+	c := clog.New()
+	for _, b := range in.Routers {
+		c.MergeBatch(b.Records)
+	}
+	return c.Entries()
+}
+
+// BenchmarkAggregationProof is E1/Figure 4's aggregation series.
+func BenchmarkAggregationProof(b *testing.B) {
+	for _, size := range benchSizes {
+		in := genesisInput(int64(size), size)
+		words := in.Words()
+		b.Run(fmt.Sprintf("records=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := zkvm.Prove(guest.AggregationProgram(), words, zkvm.ProveOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+const paperQuery = `SELECT SUM(hop_count) FROM clogs WHERE src_ip = "1.1.1.1" AND dst_ip = "9.9.9.9";`
+
+// BenchmarkQueryProof is E1/Figure 4's query series.
+func BenchmarkQueryProof(b *testing.B) {
+	prog := guest.QueryProgram(query.MustParse(paperQuery))
+	for _, size := range benchSizes {
+		input := guest.QueryInput(entriesOf(genesisInput(int64(size), size)))
+		b.Run(fmt.Sprintf("records=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := zkvm.Prove(prog, input, zkvm.ProveOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerify is E1/Figure 4's flat verification line: the cost
+// must not grow with the record count.
+func BenchmarkVerify(b *testing.B) {
+	for _, size := range []int{50, 1000} {
+		in := genesisInput(int64(size), size)
+		receipt, err := zkvm.Prove(guest.AggregationProgram(), in.Words(), zkvm.ProveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("records=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := zkvm.Verify(guest.AggregationProgram(), receipt, zkvm.VerifyOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReceiptSize is E2/Table 1: it reports seal/journal/receipt
+// bytes as metrics instead of time.
+func BenchmarkReceiptSize(b *testing.B) {
+	for _, size := range benchSizes {
+		in := genesisInput(int64(size), size)
+		receipt, err := zkvm.Prove(guest.AggregationProgram(), in.Words(), zkvm.ProveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("records=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = receipt.Size()
+			}
+			b.ReportMetric(float64(receipt.SealSize()), "seal-B")
+			b.ReportMetric(float64(receipt.JournalSize()), "journal-B")
+			b.ReportMetric(float64(receipt.Size()), "receipt-B")
+		})
+	}
+}
+
+// BenchmarkSegmentedProving is E5/§7 proof parallelization.
+func BenchmarkSegmentedProving(b *testing.B) {
+	in := genesisInput(5, 500)
+	words := in.Words()
+	for _, segs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("segments=%d", segs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := zkvm.Prove(guest.AggregationProgram(), words, zkvm.ProveOptions{Segments: segs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFastAggVsZKVM is E6/§7 specialized proving: hashes per
+// second under the three prover architectures.
+func BenchmarkFastAggVsZKVM(b *testing.B) {
+	var block [16]uint32
+	for i := range block {
+		block[i] = uint32(i + 1)
+	}
+	b.Run("zkvm-software-sha256", func(b *testing.B) {
+		const hashes = 4
+		input := guest.SoftSHA256Input(hashes, block)
+		prog := guest.SoftSHA256ChainProgram()
+		for i := 0; i < b.N; i++ {
+			if _, err := zkvm.Prove(prog, input, zkvm.ProveOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(hashes*b.N)/b.Elapsed().Seconds(), "hashes/s")
+	})
+	b.Run("zkvm-precompile", func(b *testing.B) {
+		const hashes = 1024
+		input := guest.SoftSHA256Input(hashes, block)
+		prog := guest.PrecompileHashChainProgram()
+		for i := 0; i < b.N; i++ {
+			if _, err := zkvm.Prove(prog, input, zkvm.ProveOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(hashes*b.N)/b.Elapsed().Seconds(), "hashes/s")
+	})
+	b.Run("specialized-stark", func(b *testing.B) {
+		var seed gperm.State
+		seed[0] = 9
+		const n = 2048 // 255 permutations per proof
+		for i := 0; i < b.N; i++ {
+			if _, err := fastagg.Prove(seed, n, stark.DefaultParams); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(((n-1)/gperm.Rounds)*b.N)/b.Elapsed().Seconds(), "hashes/s")
+	})
+}
+
+// BenchmarkTreeRebuildVsIncremental is the DESIGN.md §5 ablation: the
+// paper's guests rebuild the whole Merkle tree in-VM (their measured
+// bottleneck); host-side incremental updates show what an optimised
+// design could save.
+func BenchmarkTreeRebuildVsIncremental(b *testing.B) {
+	entries := entriesOf(genesisInput(6, 1000))
+	leaves := make([][]byte, len(entries))
+	for i := range entries {
+		leaves[i] = entries[i].Wire()
+	}
+	b.Run("full-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = merkle.Build(leaves).Root()
+		}
+	})
+	b.Run("incremental-one-leaf", func(b *testing.B) {
+		t := merkle.Build(leaves)
+		h := merkle.LeafHash([]byte("updated"))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := t.Update(i%len(leaves), h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSealSecurityLevels is the DESIGN.md §5 soundness-knob
+// ablation: sampled-check count vs. proving cost and seal size.
+func BenchmarkSealSecurityLevels(b *testing.B) {
+	in := genesisInput(7, 200)
+	words := in.Words()
+	for _, checks := range []int{16, 48, 128} {
+		b.Run(fmt.Sprintf("checks=%d", checks), func(b *testing.B) {
+			var receipt *zkvm.Receipt
+			var err error
+			for i := 0; i < b.N; i++ {
+				receipt, err = zkvm.Prove(guest.AggregationProgram(), words, zkvm.ProveOptions{Checks: checks})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(receipt.SealSize()), "seal-B")
+		})
+	}
+}
+
+// BenchmarkPrecompileVsSoftHash isolates the DESIGN.md §5 precompile
+// ablation at equal hash counts.
+func BenchmarkPrecompileVsSoftHash(b *testing.B) {
+	var block [16]uint32
+	for i := range block {
+		block[i] = uint32(i * 3)
+	}
+	const hashes = 4
+	input := guest.SoftSHA256Input(hashes, block)
+	b.Run("software", func(b *testing.B) {
+		prog := guest.SoftSHA256ChainProgram()
+		for i := 0; i < b.N; i++ {
+			if _, err := zkvm.Prove(prog, input, zkvm.ProveOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("precompile", func(b *testing.B) {
+		prog := guest.PrecompileHashChainProgram()
+		for i := 0; i < b.N; i++ {
+			if _, err := zkvm.Prove(prog, input, zkvm.ProveOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,112 @@
+// Command zkflow-verify is the client/auditor CLI: it connects to a
+// zkflowd operator, downloads the public commitment ledger and every
+// aggregation receipt, verifies the entire chain locally, and then —
+// optionally — submits a query and verifies the proven answer against
+// the chain-derived trusted root. At no point does it see any raw
+// telemetry.
+//
+// Usage:
+//
+//	zkflow-verify -server http://127.0.0.1:8471 \
+//	    -query 'SELECT SUM(hop_count) FROM clogs WHERE proto = 6;'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"zkflow/internal/api"
+	"zkflow/internal/core"
+)
+
+func main() {
+	var (
+		serverURL = flag.String("server", "http://127.0.0.1:8471", "zkflowd base URL")
+		sql       = flag.String("query", "", "SQL query to prove and verify (optional)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "HTTP timeout")
+		stateFile = flag.String("state", "", "auditor state file: resume a verified chain and persist progress")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	client := api.NewClient(*serverURL, &http.Client{Timeout: *timeout})
+
+	status, err := client.Status()
+	if err != nil {
+		log.Fatalf("status: %v", err)
+	}
+	fmt.Printf("operator: %d rounds aggregated, %d ledger commitments\n", status.Rounds, status.LedgerLen)
+
+	// 1. Download + chain-verify the public commitment ledger.
+	lg, err := client.Ledger()
+	if err != nil {
+		log.Fatalf("ledger chain INVALID: %v", err)
+	}
+	_, n := lg.Head()
+	fmt.Printf("ledger chain: %d commitments, hash chain VERIFIED\n", n)
+
+	// 2. Verify every aggregation receipt in order, resuming from a
+	// persisted auditor state when one exists.
+	verifier := core.NewVerifier(lg)
+	if *stateFile != "" {
+		if f, err := os.Open(*stateFile); err == nil {
+			verifier, err = core.LoadVerifier(f, lg)
+			f.Close()
+			if err != nil {
+				log.Fatalf("state file: %v", err)
+			}
+			fmt.Printf("resuming from persisted state: %d rounds already verified\n", verifier.Rounds())
+		}
+	}
+	for round := verifier.Rounds(); round < status.Rounds; round++ {
+		receipt, err := client.AggregationReceipt(round)
+		if err != nil {
+			log.Fatalf("receipt %d: %v", round, err)
+		}
+		t0 := time.Now()
+		j, err := verifier.VerifyAggregation(receipt)
+		if err != nil {
+			log.Fatalf("round %d verification FAILED: %v", round, err)
+		}
+		fmt.Printf("round %d: epoch %d, %d records, %d flows, root %v — VERIFIED in %.1f ms\n",
+			round, j.Epoch, j.NumRecords, j.NewCount, j.NewRoot.Bytes(),
+			time.Since(t0).Seconds()*1000)
+	}
+	fmt.Printf("aggregation chain VERIFIED; trusted root %v\n", verifier.TrustedRoot().Bytes())
+	if *stateFile != "" {
+		f, err := os.Create(*stateFile)
+		if err != nil {
+			log.Fatalf("state file: %v", err)
+		}
+		if err := verifier.SaveState(f); err != nil {
+			f.Close()
+			log.Fatalf("state file: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("state file: %v", err)
+		}
+		fmt.Printf("auditor state saved to %s\n", *stateFile)
+	}
+
+	// 3. Optional proven query.
+	if *sql == "" {
+		return
+	}
+	qres, receipt, err := client.Query(*sql)
+	if err != nil {
+		log.Fatalf("query: %v", err)
+	}
+	t0 := time.Now()
+	j, err := verifier.VerifyQuery(*sql, receipt)
+	if err != nil {
+		log.Fatalf("query verification FAILED: %v", err)
+	}
+	fmt.Printf("\n%s\n  claimed %d — VERIFIED (%d matched flows, %.1f ms, receipt %d B)\n",
+		*sql, j.Result(), j.Matched, time.Since(t0).Seconds()*1000, receipt.Size())
+	if qres.Result != j.Result() {
+		log.Fatalf("operator's claimed value %d differs from proven value %d", qres.Result, j.Result())
+	}
+}

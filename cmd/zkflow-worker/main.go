@@ -1,0 +1,22 @@
+// Command zkflow-worker is an off-path proving node (paper §7,
+// "off-path computation"): a stateless HTTP service that executes
+// guest programs over submitted inputs and returns receipts. Point
+// zkflowd at it with -worker to move all heavy cryptographic work off
+// the collection path:
+//
+//	zkflow-worker -listen 127.0.0.1:8481
+//	zkflowd -worker http://127.0.0.1:8481
+package main
+
+import (
+	"flag"
+	"log"
+
+	"zkflow/internal/remote"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8481", "HTTP listen address")
+	flag.Parse()
+	log.Fatal(remote.Serve(*listen))
+}

@@ -1,0 +1,97 @@
+// Command zkflowd is the prover daemon: it runs the simulated
+// collection tier (routers → store + commitment ledger), aggregates
+// every epoch under a zkVM proof, and serves the public artifacts
+// over HTTP (see internal/api) so remote clients (zkflow-verify) can
+// audit the operator.
+//
+// Raw RLogs and the CLog never leave the process: everything served
+// is either public by design (ledger, receipts) or a proven result.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"zkflow/internal/api"
+	"zkflow/internal/core"
+	"zkflow/internal/ledger"
+	"zkflow/internal/remote"
+	"zkflow/internal/router"
+	"zkflow/internal/store"
+	"zkflow/internal/trafficgen"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:8471", "HTTP listen address")
+		routers  = flag.Int("routers", 4, "simulated routers")
+		records  = flag.Int("records", 50, "records per router per epoch")
+		epochs   = flag.Int("epochs", 3, "epochs to run (0 = continuous)")
+		interval = flag.Duration("interval", router.EpochSeconds*time.Second, "epoch interval in continuous mode")
+		checks   = flag.Int("checks", 32, "zkVM sampled checks per proof")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		flows    = flag.Int("flows", 256, "flow population size")
+		loss     = flag.Float64("loss", 0.02, "packet loss rate")
+		worker   = flag.String("worker", "", "off-path proving worker URL (empty = prove locally)")
+	)
+	flag.Parse()
+
+	st := store.Open(64)
+	lg := ledger.New()
+	sim := router.NewSim(trafficgen.Config{
+		Seed: *seed, NumFlows: *flows, Routers: *routers, LossRate: *loss,
+	}, st, lg)
+	opts := core.Options{Checks: *checks}
+	if *worker != "" {
+		opts.Prove = remote.NewClient(*worker, nil).Prove
+		log.Printf("proving off-path via %s", *worker)
+	}
+	prover := core.NewProver(st, lg, opts)
+	srv := api.NewServer(prover, lg)
+
+	runEpoch := func(epoch uint64) error {
+		if _, err := sim.RunEpoch(context.Background(), epoch, *records); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		res, err := prover.AggregateEpoch(epoch)
+		if err != nil {
+			return err
+		}
+		if err := srv.AddAggregation(res.Receipt); err != nil {
+			return err
+		}
+		log.Printf("epoch %d: %d records -> %d flows, proof %.0f ms, receipt %d B, root %v",
+			epoch, res.Journal.NumRecords, res.Journal.NewCount,
+			time.Since(t0).Seconds()*1000, res.Receipt.Size(), res.Journal.NewRoot.Bytes())
+		return nil
+	}
+
+	go func() {
+		for epoch := uint64(0); ; epoch++ {
+			if err := runEpoch(epoch); err != nil {
+				log.Printf("epoch %d failed: %v", epoch, err)
+				return
+			}
+			if *epochs > 0 && epoch+1 >= uint64(*epochs) {
+				log.Printf("finished %d epochs; serving", *epochs)
+				return
+			}
+			if *epochs == 0 {
+				time.Sleep(*interval)
+			}
+		}
+	}()
+
+	log.Printf("zkflowd listening on http://%s (%d routers, %d records/epoch)", *listen, *routers, *records)
+	httpSrv := &http.Server{
+		Addr:         *listen,
+		Handler:      srv.Handler(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 120 * time.Second,
+	}
+	log.Fatal(httpSrv.ListenAndServe())
+}

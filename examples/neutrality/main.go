@@ -1,0 +1,95 @@
+// Command neutrality demonstrates a network-neutrality audit (paper
+// §2.1): a regulator compares the proven mean RTT of two content
+// providers' traffic through the same operator. The simulated
+// operator throttles provider B (3x RTT bias); the audit detects the
+// differential treatment from verified query receipts alone, with no
+// access to per-user flow records.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"zkflow/internal/core"
+	"zkflow/internal/ledger"
+	"zkflow/internal/netflow"
+	"zkflow/internal/router"
+	"zkflow/internal/store"
+	"zkflow/internal/trafficgen"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	providers := []trafficgen.Provider{
+		{Name: "video-a", DstIP: netflow.MustParseIPv4("9.9.9.9"), RTTBias: 1.0},
+		{Name: "video-b", DstIP: netflow.MustParseIPv4("8.8.8.8"), RTTBias: 3.0}, // throttled
+	}
+	st := store.Open(0)
+	lg := ledger.New()
+	sim := router.NewSim(trafficgen.Config{
+		Seed:          99,
+		NumFlows:      120,
+		Routers:       4,
+		BaseRTTMicros: 20000,
+		JitterMicros:  1500,
+		Providers:     providers,
+	}, st, lg)
+	if err := sim.RunEpochs(context.Background(), 0, 2, 35); err != nil {
+		log.Fatal(err)
+	}
+
+	operator := core.NewProver(st, lg, core.Options{Checks: 12})
+	regulator := core.NewVerifier(lg)
+	for epoch := uint64(0); epoch < 2; epoch++ {
+		res, err := operator.AggregateEpoch(epoch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := regulator.VerifyAggregation(res.Receipt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("aggregation chain verified (%d rounds)\n\n", regulator.Rounds())
+
+	// Per provider: mean per-record RTT = SUM(rtt_sum) / SUM(count),
+	// both proven and verified independently.
+	meanRTT := func(p trafficgen.Provider) float64 {
+		ip := fmt.Sprintf("%d.%d.%d.%d", p.DstIP>>24, (p.DstIP>>16)&0xff, (p.DstIP>>8)&0xff, p.DstIP&0xff)
+		sumSQL := fmt.Sprintf(`SELECT SUM(rtt_sum) FROM clogs WHERE dst_ip = "%s";`, ip)
+		cntSQL := fmt.Sprintf(`SELECT SUM(count) FROM clogs WHERE dst_ip = "%s";`, ip)
+		var vals [2]uint64
+		for i, sql := range []string{sumSQL, cntSQL} {
+			qr, err := operator.Query(sql)
+			if err != nil {
+				log.Fatalf("prove %q: %v", sql, err)
+			}
+			j, err := regulator.VerifyQuery(sql, qr.Receipt)
+			if err != nil {
+				log.Fatalf("verify %q: %v", sql, err)
+			}
+			vals[i] = j.Result()
+		}
+		if vals[1] == 0 {
+			log.Fatalf("provider %s has no traffic", p.Name)
+		}
+		mean := float64(vals[0]) / float64(vals[1])
+		fmt.Printf("%-8s proven ΣRTT=%12d over %6d records -> mean RTT %7.0f µs\n",
+			p.Name, vals[0], vals[1], mean)
+		return mean
+	}
+
+	a := meanRTT(providers[0])
+	b := meanRTT(providers[1])
+
+	const tolerance = 1.5 // policy: >50% differential is a violation
+	ratio := b / a
+	fmt.Printf("\ndifferential treatment ratio: %.2fx (policy tolerance %.1fx)\n", ratio, tolerance)
+	if ratio > tolerance || 1/ratio > tolerance {
+		fmt.Println("verdict: NEUTRALITY VIOLATION detected from verified telemetry")
+	} else {
+		fmt.Println("verdict: traffic classes statistically equivalent")
+	}
+	fmt.Println("\nThe regulator localised the violation to this operator without any raw logs.")
+}

@@ -1,0 +1,3 @@
+module zkflow
+
+go 1.22

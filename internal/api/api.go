@@ -1,0 +1,149 @@
+// Package api is the HTTP layer between the operator (zkflowd) and
+// remote auditors (zkflow-verify): the server exposes exactly the
+// public artifacts — status, the commitment ledger, aggregation
+// receipts, and proven query responses — and the client retrieves and
+// re-verifies them. Raw telemetry never crosses this boundary.
+package api
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"zkflow/internal/core"
+	"zkflow/internal/ledger"
+	"zkflow/internal/zkvm"
+)
+
+// Status is the operator status document.
+type Status struct {
+	Rounds     int    `json:"rounds"`
+	Flows      int    `json:"clog_flows"`
+	LedgerLen  int    `json:"ledger_len"`
+	LatestRoot string `json:"latest_root,omitempty"`
+}
+
+// QueryRequest is the body of POST /api/query.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+}
+
+// QueryResponse carries a proven query result. The receipt is the
+// binding artifact; Result/Matched/Avg are operator claims the client
+// must check against the verified journal.
+type QueryResponse struct {
+	SQL     string  `json:"sql"`
+	Result  uint64  `json:"result"`
+	Matched uint32  `json:"matched"`
+	Avg     float64 `json:"avg"`
+	Receipt string  `json:"receipt"` // base64 zkvm receipt
+}
+
+// Server serves the operator's public artifacts.
+type Server struct {
+	prover *core.Prover
+	ledger *ledger.Ledger
+
+	mu       sync.RWMutex
+	receipts [][]byte
+}
+
+// NewServer wraps a prover and its public ledger.
+func NewServer(p *core.Prover, lg *ledger.Ledger) *Server {
+	return &Server{prover: p, ledger: lg}
+}
+
+// AddAggregation registers a completed round's receipt for serving.
+func (s *Server) AddAggregation(r *zkvm.Receipt) error {
+	bin, err := r.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.receipts = append(s.receipts, bin)
+	s.mu.Unlock()
+	return nil
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/status", s.handleStatus)
+	mux.HandleFunc("/api/ledger", s.handleLedger)
+	mux.HandleFunc("/api/receipts/agg/", s.handleReceipt)
+	mux.HandleFunc("/api/query", s.handleQuery)
+	return mux
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	rounds := len(s.receipts)
+	s.mu.RUnlock()
+	_, n := s.ledger.Head()
+	st := Status{Rounds: rounds, Flows: s.prover.CLogLen(), LedgerLen: n}
+	if hist := s.prover.History(); len(hist) > 0 {
+		st.LatestRoot = fmt.Sprintf("%x", hist[len(hist)-1].Journal.NewRoot.Bytes())
+	}
+	writeJSON(w, st)
+}
+
+func (s *Server) handleLedger(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.ledger.Entries())
+}
+
+func (s *Server) handleReceipt(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/api/receipts/agg/"))
+	if err != nil {
+		http.Error(w, "bad round index", http.StatusBadRequest)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if n < 0 || n >= len(s.receipts) {
+		http.Error(w, "round not aggregated yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(s.receipts[n])
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, "bad request body", http.StatusBadRequest)
+		return
+	}
+	qr, err := s.prover.Query(req.SQL)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	bin, err := qr.Receipt.MarshalBinary()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, QueryResponse{
+		SQL:     req.SQL,
+		Result:  qr.Result(),
+		Matched: qr.Journal.Matched,
+		Avg:     qr.Journal.Avg(),
+		Receipt: base64.StdEncoding.EncodeToString(bin),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("api: encoding response: %v", err)
+	}
+}

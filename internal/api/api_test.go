@@ -1,0 +1,155 @@
+package api
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"zkflow/internal/core"
+	"zkflow/internal/ledger"
+	"zkflow/internal/router"
+	"zkflow/internal/store"
+	"zkflow/internal/trafficgen"
+)
+
+// newTestServer spins up a full operator with n aggregated epochs.
+func newTestServer(t *testing.T, epochs int) (*httptest.Server, *Server) {
+	t.Helper()
+	st := store.Open(0)
+	lg := ledger.New()
+	sim := router.NewSim(trafficgen.Config{Seed: 1, NumFlows: 32, Routers: 2}, st, lg)
+	prover := core.NewProver(st, lg, core.Options{Checks: 6})
+	srv := NewServer(prover, lg)
+	for e := 0; e < epochs; e++ {
+		if _, err := sim.RunEpoch(context.Background(), uint64(e), 8); err != nil {
+			t.Fatal(err)
+		}
+		res, err := prover.AggregateEpoch(uint64(e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.AddAggregation(res.Receipt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func TestFullRemoteAuditFlow(t *testing.T) {
+	ts, _ := newTestServer(t, 2)
+	c := NewClient(ts.URL, ts.Client())
+
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 2 || st.LedgerLen != 4 {
+		t.Fatalf("status: %+v", st)
+	}
+
+	lg, err := c.Ledger()
+	if err != nil {
+		t.Fatalf("ledger: %v", err)
+	}
+	verifier := core.NewVerifier(lg)
+	for round := 0; round < st.Rounds; round++ {
+		receipt, err := c.AggregationReceipt(round)
+		if err != nil {
+			t.Fatalf("receipt %d: %v", round, err)
+		}
+		if _, err := verifier.VerifyAggregation(receipt); err != nil {
+			t.Fatalf("verify round %d: %v", round, err)
+		}
+	}
+
+	sql := "SELECT COUNT(*) FROM clogs;"
+	qres, receipt, err := c.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := verifier.VerifyQuery(sql, receipt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qres.Result != j.Result() {
+		t.Fatalf("claimed %d, proven %d", qres.Result, j.Result())
+	}
+}
+
+func TestQueryRejectsBadSQL(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	c := NewClient(ts.URL, ts.Client())
+	if _, _, err := c.Query("SELECT NONSENSE"); err == nil {
+		t.Fatal("bad SQL accepted")
+	}
+}
+
+func TestQueryRejectsGet(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	resp, err := ts.Client().Get(ts.URL + "/api/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestReceiptNotFound(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	c := NewClient(ts.URL, ts.Client())
+	if _, err := c.AggregationReceipt(5); err == nil {
+		t.Fatal("missing receipt served")
+	}
+	if _, err := c.AggregationReceipt(-1); err == nil {
+		t.Fatal("negative round served")
+	}
+	resp, err := ts.Client().Get(ts.URL + "/api/receipts/agg/notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestOversizeQueryBodyRejected(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	big := `{"sql": "` + strings.Repeat("x", 1<<17) + `"}`
+	resp, err := ts.Client().Post(ts.URL+"/api/query", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("oversize body accepted")
+	}
+}
+
+func TestTamperedServedReceiptCaughtByClientVerifier(t *testing.T) {
+	ts, srv := newTestServer(t, 1)
+	// The operator serves a corrupted receipt (e.g. bit rot or a
+	// malicious swap): the remote verifier must reject it.
+	srv.mu.Lock()
+	srv.receipts[0][60] ^= 0xff
+	srv.mu.Unlock()
+	c := NewClient(ts.URL, ts.Client())
+	lg, err := c.Ledger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := core.NewVerifier(lg)
+	receipt, err := c.AggregationReceipt(0)
+	if err == nil {
+		_, err = verifier.VerifyAggregation(receipt)
+	}
+	if err == nil {
+		t.Fatal("corrupted served receipt accepted")
+	}
+}

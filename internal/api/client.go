@@ -1,0 +1,108 @@
+package api
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"zkflow/internal/ledger"
+	"zkflow/internal/zkvm"
+)
+
+// Client talks to a zkflowd server. The zero value is not usable;
+// call NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient creates a client for the given base URL (e.g.
+// "http://127.0.0.1:8471"). httpClient may be nil for the default.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+func (c *Client) getJSON(path string, v any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("api: %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Status fetches the operator status.
+func (c *Client) Status() (*Status, error) {
+	var st Status
+	if err := c.getJSON("/api/status", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Ledger downloads and chain-verifies the public commitment ledger.
+func (c *Client) Ledger() (*ledger.Ledger, error) {
+	var entries []ledger.Commitment
+	if err := c.getJSON("/api/ledger", &entries); err != nil {
+		return nil, err
+	}
+	return ledger.FromEntries(entries)
+}
+
+// AggregationReceipt fetches round n's receipt.
+func (c *Client) AggregationReceipt(n int) (*zkvm.Receipt, error) {
+	resp, err := c.http.Get(fmt.Sprintf("%s/api/receipts/agg/%d", c.base, n))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("api: receipt %d: %s", n, resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, err
+	}
+	return zkvm.UnmarshalReceipt(data)
+}
+
+// Query submits a SQL query and returns the operator's claimed
+// response plus the decoded receipt (which the caller must verify).
+func (c *Client) Query(sql string) (*QueryResponse, *zkvm.Receipt, error) {
+	body, err := json.Marshal(QueryRequest{SQL: sql})
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := c.http.Post(c.base+"/api/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, nil, fmt.Errorf("api: query rejected: %s", bytes.TrimSpace(msg))
+	}
+	var qres QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qres); err != nil {
+		return nil, nil, err
+	}
+	bin, err := base64.StdEncoding.DecodeString(qres.Receipt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("api: receipt encoding: %w", err)
+	}
+	receipt, err := zkvm.UnmarshalReceipt(bin)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &qres, receipt, nil
+}

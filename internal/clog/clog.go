@@ -1,0 +1,239 @@
+// Package clog implements the combined log (CLog) of the paper: the
+// per-flow aggregate dataset the prover maintains across aggregation
+// rounds and the Merkle tree that commits it.
+//
+// The canonical aggregation policy merges every RLog record for the
+// same 5-tuple by summing the additive counters (packets, bytes,
+// drops, hop counts, RTT and jitter accumulate for averages) and
+// keeping maxima for the bound-style SLA metrics. The canonical CLog
+// layout — what the Merkle leaves commit and what guests consume — is
+// the entry list sorted by flow key.
+package clog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"zkflow/internal/merkle"
+	"zkflow/internal/netflow"
+)
+
+// Entry is one aggregated flow.
+type Entry struct {
+	Key       netflow.FlowKey
+	Packets   uint32
+	Bytes     uint32
+	Dropped   uint32
+	HopCount  uint32
+	RTTSum    uint32
+	RTTMax    uint32
+	JitterSum uint32
+	JitterMax uint32
+	Count     uint32 // number of records merged into this entry
+}
+
+// Entry encoding sizes.
+const (
+	// EntryWords is the guest word count of one entry.
+	EntryWords = netflow.KeyWords + 9
+	// WireBytes is the storage/commitment size of one entry.
+	WireBytes = 4 * EntryWords
+)
+
+// Merge folds one record into the entry under the canonical policy.
+// The keys must already match.
+func (e *Entry) Merge(r *netflow.Record) {
+	e.Packets += r.Packets
+	e.Bytes += r.Bytes
+	e.Dropped += r.Dropped
+	e.HopCount += r.HopCount
+	e.RTTSum += r.RTTMicros
+	if r.RTTMicros > e.RTTMax {
+		e.RTTMax = r.RTTMicros
+	}
+	e.JitterSum += r.JitterMicros
+	if r.JitterMicros > e.JitterMax {
+		e.JitterMax = r.JitterMicros
+	}
+	e.Count++
+}
+
+// FromRecord creates a fresh entry from a record.
+func FromRecord(r *netflow.Record) Entry {
+	var e Entry
+	e.Key = r.Key
+	e.Merge(r)
+	return e
+}
+
+// Words returns the guest encoding: key words then counters.
+func (e *Entry) Words() [EntryWords]uint32 {
+	k := e.Key.Words()
+	return [EntryWords]uint32{
+		k[0], k[1], k[2], k[3],
+		e.Packets, e.Bytes, e.Dropped, e.HopCount,
+		e.RTTSum, e.RTTMax, e.JitterSum, e.JitterMax, e.Count,
+	}
+}
+
+// FromWords inverts Words.
+func FromWords(w [EntryWords]uint32) Entry {
+	return Entry{
+		Key:       netflow.KeyFromWords([netflow.KeyWords]uint32{w[0], w[1], w[2], w[3]}),
+		Packets:   w[4],
+		Bytes:     w[5],
+		Dropped:   w[6],
+		HopCount:  w[7],
+		RTTSum:    w[8],
+		RTTMax:    w[9],
+		JitterSum: w[10],
+		JitterMax: w[11],
+		Count:     w[12],
+	}
+}
+
+// AppendWire appends the entry's wire encoding to dst.
+func (e *Entry) AppendWire(dst []byte) []byte {
+	w := e.Words()
+	var b [WireBytes]byte
+	for i, v := range w {
+		binary.LittleEndian.PutUint32(b[4*i:], v)
+	}
+	return append(dst, b[:]...)
+}
+
+// Wire returns the entry's wire encoding.
+func (e *Entry) Wire() []byte { return e.AppendWire(nil) }
+
+// DecodeWire parses a wire-encoded entry.
+func DecodeWire(b []byte) (Entry, error) {
+	if len(b) < WireBytes {
+		return Entry{}, fmt.Errorf("clog: entry of %d bytes, want %d", len(b), WireBytes)
+	}
+	var w [EntryWords]uint32
+	for i := range w {
+		w[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return FromWords(w), nil
+}
+
+// CLog is the mutable aggregate dataset. The zero value is not ready;
+// use New.
+type CLog struct {
+	byKey  map[netflow.FlowKey]*Entry
+	sorted []Entry // cached canonical snapshot
+	dirty  bool
+}
+
+// New returns an empty CLog.
+func New() *CLog {
+	return &CLog{byKey: make(map[netflow.FlowKey]*Entry)}
+}
+
+// Clone deep-copies the CLog.
+func (c *CLog) Clone() *CLog {
+	out := New()
+	for k, e := range c.byKey {
+		cp := *e
+		out.byKey[k] = &cp
+	}
+	out.dirty = true
+	return out
+}
+
+// Len returns the number of aggregated flows.
+func (c *CLog) Len() int { return len(c.byKey) }
+
+// Merge folds a record into the dataset (Algorithm 1 lines 13-23,
+// host-side reference implementation).
+func (c *CLog) Merge(r *netflow.Record) {
+	if e, ok := c.byKey[r.Key]; ok {
+		e.Merge(r)
+	} else {
+		fresh := FromRecord(r)
+		c.byKey[r.Key] = &fresh
+	}
+	c.dirty = true
+}
+
+// MergeBatch folds a batch of records.
+func (c *CLog) MergeBatch(records []netflow.Record) {
+	for i := range records {
+		c.Merge(&records[i])
+	}
+}
+
+// SetEntry installs a complete entry, replacing any existing entry
+// for the same key. Used to seed a CLog from a previous round's
+// committed snapshot.
+func (c *CLog) SetEntry(e Entry) {
+	cp := e
+	c.byKey[e.Key] = &cp
+	c.dirty = true
+}
+
+// Get returns the entry for a key, if present.
+func (c *CLog) Get(key netflow.FlowKey) (Entry, bool) {
+	e, ok := c.byKey[key]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Entries returns the canonical key-sorted snapshot. The returned
+// slice is shared; callers must not mutate it.
+func (c *CLog) Entries() []Entry {
+	if c.dirty || c.sorted == nil {
+		c.sorted = make([]Entry, 0, len(c.byKey))
+		for _, e := range c.byKey {
+			c.sorted = append(c.sorted, *e)
+		}
+		sort.Slice(c.sorted, func(i, j int) bool {
+			return c.sorted[i].Key.Less(c.sorted[j].Key)
+		})
+		c.dirty = false
+	}
+	return c.sorted
+}
+
+// Words flattens the canonical snapshot into the guest word stream.
+func (c *CLog) Words() []uint32 {
+	entries := c.Entries()
+	out := make([]uint32, 0, len(entries)*EntryWords)
+	for i := range entries {
+		w := entries[i].Words()
+		out = append(out, w[:]...)
+	}
+	return out
+}
+
+// EntriesWords flattens an explicit entry slice (already sorted).
+func EntriesWords(entries []Entry) []uint32 {
+	out := make([]uint32, 0, len(entries)*EntryWords)
+	for i := range entries {
+		w := entries[i].Words()
+		out = append(out, w[:]...)
+	}
+	return out
+}
+
+// Tree builds the Merkle tree over the canonical snapshot: leaf i is
+// the wire encoding of sorted entry i.
+func (c *CLog) Tree() *merkle.Tree {
+	return TreeOf(c.Entries())
+}
+
+// TreeOf builds the Merkle tree over an explicit sorted entry slice.
+func TreeOf(entries []Entry) *merkle.Tree {
+	leaves := make([][]byte, len(entries))
+	for i := range entries {
+		leaves[i] = entries[i].Wire()
+	}
+	return merkle.Build(leaves)
+}
+
+// Root returns the Merkle root of the canonical snapshot. The root of
+// an empty CLog is the root of the empty tree.
+func (c *CLog) Root() merkle.Hash { return c.Tree().Root() }

@@ -1,0 +1,319 @@
+// Package core assembles the full verifiable-telemetry system of the
+// paper (Figure 1): a Prover that aggregates committed router logs
+// into the CLog and answers queries, both under zkVM proofs, and a
+// Verifier that — holding only public data (the guest programs, the
+// commitment ledger, and the receipts) — maintains a trusted view of
+// the CLog root across rounds and validates query results against it.
+//
+// The trust chain works as follows. Round n's aggregation receipt
+// journals (a) the SHA-256 of round n-1's journal, (b) the previous
+// CLog root it authenticated in-VM, (c) the epoch and every router
+// commitment it checked, and (d) the new root. The verifier checks
+// the zkVM seal, matches (a) against its stored hash, (b) against its
+// stored root, and (c) against the public ledger, then advances to
+// (d). Query receipts journal the root they re-authenticated in-VM,
+// which must equal the verifier's current root. Algorithm 1's
+// "VerifyProof(π_prev)" is realised by this receipt chaining rather
+// than in-guest recursive verification (RISC Zero uses recursion; see
+// DESIGN.md §1).
+package core
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+
+	"zkflow/internal/clog"
+	"zkflow/internal/guest"
+	"zkflow/internal/ledger"
+	"zkflow/internal/query"
+	"zkflow/internal/router"
+	"zkflow/internal/store"
+	"zkflow/internal/vmtree"
+	"zkflow/internal/zkvm"
+)
+
+// ProveFunc generates a receipt for a guest run. The default is
+// local zkvm.Prove; remote.Client.Prove plugs in here for off-path
+// proving (paper §7).
+type ProveFunc func(prog *zkvm.Program, input []uint32, opts zkvm.ProveOptions) (*zkvm.Receipt, error)
+
+// Options configures proof generation.
+type Options struct {
+	// Checks is the zkVM sampled-check count (0 = zkvm default).
+	Checks int
+	// Segments is the parallel proving fan-out (0 = GOMAXPROCS).
+	Segments int
+	// Prove overrides the proving backend (nil = local zkvm.Prove).
+	Prove ProveFunc
+}
+
+func (o Options) proveOptions() zkvm.ProveOptions {
+	return zkvm.ProveOptions{Checks: o.Checks, Segments: o.Segments}
+}
+
+func (o Options) prove(prog *zkvm.Program, input []uint32) (*zkvm.Receipt, error) {
+	if o.Prove != nil {
+		return o.Prove(prog, input, o.proveOptions())
+	}
+	return zkvm.Prove(prog, input, o.proveOptions())
+}
+
+// AggregationResult is one completed aggregation round.
+type AggregationResult struct {
+	Epoch   uint64
+	Receipt *zkvm.Receipt
+	Journal *guest.AggJournal
+}
+
+// QueryResult is a proven query response: what the prover hands the
+// client.
+type QueryResult struct {
+	SQL     string
+	Receipt *zkvm.Receipt
+	Journal *guest.QueryJournal
+}
+
+// Result returns the aggregate value.
+func (r *QueryResult) Result() uint64 { return r.Journal.Result() }
+
+// Prover is the service-provider side: it owns the private telemetry
+// (store) and produces receipts. Safe for concurrent queries;
+// aggregation rounds are serialised.
+type Prover struct {
+	mu      sync.Mutex
+	store   *store.Store
+	ledger  *ledger.Ledger
+	opts    Options
+	entries []clog.Entry // current CLog (private)
+	history []*AggregationResult
+}
+
+// NewProver creates a prover over a store and ledger.
+func NewProver(st *store.Store, lg *ledger.Ledger, opts Options) *Prover {
+	return &Prover{store: st, ledger: lg, opts: opts}
+}
+
+// Round returns the number of completed aggregation rounds.
+func (p *Prover) Round() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.history)
+}
+
+// CLogLen returns the current aggregated flow count.
+func (p *Prover) CLogLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// History returns the aggregation receipts in order (shared slice —
+// do not mutate).
+func (p *Prover) History() []*AggregationResult {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.history
+}
+
+// prevJournalHash returns the chain hash of the last round (zeros at
+// genesis).
+func (p *Prover) prevJournalHash() vmtree.Digest {
+	if len(p.history) == 0 {
+		return vmtree.Digest{}
+	}
+	last := p.history[len(p.history)-1].Receipt
+	return vmtree.FromBytes(sha256.Sum256(last.JournalBytes()))
+}
+
+// AggregateEpoch runs one Algorithm 1 round over the given epoch's
+// store contents and ledger commitments, producing a receipt and
+// advancing the prover's CLog. Tampered inputs make the guest abort,
+// so no receipt can be produced — the error carries the abort code.
+func (p *Prover) AggregateEpoch(epoch uint64) (*AggregationResult, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	in, err := router.CollectEpoch(p.store, p.ledger, epoch)
+	if err != nil {
+		return nil, fmt.Errorf("core: collecting epoch %d: %w", epoch, err)
+	}
+	agg := &guest.AggInput{
+		PrevJournalHash: p.prevJournalHash(),
+		PrevRoot:        vmtree.Root(guest.EntryWordsOf(p.entries)),
+		Epoch:           uint32(epoch),
+		PrevEntries:     p.entries,
+	}
+	for i, id := range in.Routers {
+		agg.Routers = append(agg.Routers, guest.RouterBatch{
+			ID:         id,
+			Commitment: vmtree.FromBytes(in.Commitments[i].Hash),
+			Records:    in.Batches[i],
+		})
+	}
+	receipt, err := p.opts.prove(guest.AggregationProgram(), agg.Words())
+	if err != nil {
+		return nil, fmt.Errorf("core: aggregation proof for epoch %d: %w", epoch, err)
+	}
+	j, err := guest.ParseAggJournal(receipt.Journal)
+	if err != nil {
+		return nil, fmt.Errorf("core: aggregation journal: %w", err)
+	}
+	// Advance the private CLog with the reference merge and
+	// cross-check the guest agreed.
+	next := guest.ReferenceAggregate(p.entries, in.Batches...)
+	if got := vmtree.Root(guest.EntryWordsOf(next)); got != j.NewRoot {
+		return nil, fmt.Errorf("core: internal error: guest root %v, host root %v", j.NewRoot.Bytes(), got.Bytes())
+	}
+	p.entries = next
+	res := &AggregationResult{Epoch: epoch, Receipt: receipt, Journal: j}
+	p.history = append(p.history, res)
+	return res, nil
+}
+
+// Query compiles, executes, and proves a SQL query over the current
+// CLog snapshot.
+func (p *Prover) Query(sql string) (*QueryResult, error) {
+	q, err := query.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	entries := p.entries
+	p.mu.Unlock()
+
+	prog := guest.QueryProgram(q)
+	receipt, err := p.opts.prove(prog, guest.QueryInput(entries))
+	if err != nil {
+		return nil, fmt.Errorf("core: query proof: %w", err)
+	}
+	j, err := guest.ParseQueryJournal(receipt.Journal)
+	if err != nil {
+		return nil, fmt.Errorf("core: query journal: %w", err)
+	}
+	return &QueryResult{SQL: sql, Receipt: receipt, Journal: j}, nil
+}
+
+// Verification errors.
+var (
+	// ErrChainBroken reports an aggregation receipt that does not
+	// extend the verifier's current state.
+	ErrChainBroken = errors.New("core: aggregation chain broken")
+	// ErrCommitmentMismatch reports a journaled router commitment
+	// absent from or different on the public ledger.
+	ErrCommitmentMismatch = errors.New("core: router commitment does not match ledger")
+	// ErrStaleRoot reports a query proven against a CLog root other
+	// than the verifier's current one.
+	ErrStaleRoot = errors.New("core: query root is not the current aggregate root")
+	// ErrWrongProgram reports a receipt bound to an unexpected guest.
+	ErrWrongProgram = errors.New("core: receipt bound to unexpected guest program")
+)
+
+// Verifier is the client/auditor side. It never sees RLogs or CLogs —
+// only receipts, the public ledger, and the guest programs it
+// recompiles itself.
+type Verifier struct {
+	mu              sync.Mutex
+	ledger          *ledger.Ledger
+	trustedRoot     vmtree.Digest
+	lastJournalHash vmtree.Digest
+	rounds          int
+	verifyOpts      zkvm.VerifyOptions
+}
+
+// NewVerifier creates a verifier reading the public ledger. Its
+// initial trusted state is the genesis (empty CLog, zero chain hash).
+func NewVerifier(lg *ledger.Ledger) *Verifier {
+	return &Verifier{ledger: lg}
+}
+
+// SetMinChecks sets the soundness floor: receipts whose seals carry
+// fewer sampled checks are rejected. Production auditors should set
+// this to zkvm.DefaultChecks or higher.
+func (v *Verifier) SetMinChecks(k int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.verifyOpts.MinChecks = k
+}
+
+// TrustedRoot returns the currently trusted CLog root.
+func (v *Verifier) TrustedRoot() vmtree.Digest {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.trustedRoot
+}
+
+// Rounds returns the number of aggregation rounds verified.
+func (v *Verifier) Rounds() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.rounds
+}
+
+// VerifyAggregation checks one aggregation receipt and, on success,
+// advances the verifier's trusted root and chain hash.
+func (v *Verifier) VerifyAggregation(receipt *zkvm.Receipt) (*guest.AggJournal, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+
+	prog := guest.AggregationProgram()
+	if receipt.ImageID != prog.ID() {
+		return nil, fmt.Errorf("%w: image %v", ErrWrongProgram, receipt.ImageID)
+	}
+	if err := zkvm.Verify(prog, receipt, v.verifyOpts); err != nil {
+		return nil, err
+	}
+	j, err := guest.ParseAggJournal(receipt.Journal)
+	if err != nil {
+		return nil, err
+	}
+	if j.PrevJournalHash != v.lastJournalHash {
+		return nil, fmt.Errorf("%w: journal chain hash mismatch at round %d", ErrChainBroken, v.rounds)
+	}
+	if j.PrevRoot != v.trustedRoot {
+		return nil, fmt.Errorf("%w: previous root mismatch at round %d", ErrChainBroken, v.rounds)
+	}
+	for i, id := range j.RouterIDs {
+		com, err := v.ledger.Lookup(id, uint64(j.Epoch))
+		if err != nil {
+			return nil, fmt.Errorf("%w: router %d epoch %d: %v", ErrCommitmentMismatch, id, j.Epoch, err)
+		}
+		if vmtree.FromBytes(com.Hash) != j.Commitments[i] {
+			return nil, fmt.Errorf("%w: router %d epoch %d", ErrCommitmentMismatch, id, j.Epoch)
+		}
+	}
+	v.trustedRoot = j.NewRoot
+	v.lastJournalHash = vmtree.FromBytes(sha256.Sum256(receipt.JournalBytes()))
+	v.rounds++
+	return j, nil
+}
+
+// VerifyQuery checks a query receipt: the seal verifies under the
+// program recompiled from sql (binding the result to the exact
+// query), and the root the guest re-authenticated equals the
+// verifier's trusted root. Returns the proven result.
+func (v *Verifier) VerifyQuery(sql string, receipt *zkvm.Receipt) (*guest.QueryJournal, error) {
+	q, err := query.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	prog := guest.QueryProgram(q)
+	if receipt.ImageID != prog.ID() {
+		return nil, fmt.Errorf("%w: query receipt image %v", ErrWrongProgram, receipt.ImageID)
+	}
+	if err := zkvm.Verify(prog, receipt, v.verifyOpts); err != nil {
+		return nil, err
+	}
+	j, err := guest.ParseQueryJournal(receipt.Journal)
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	root := v.trustedRoot
+	v.mu.Unlock()
+	if j.Root != root {
+		return nil, fmt.Errorf("%w: proven against %v, trusted %v", ErrStaleRoot, j.Root.Bytes(), root.Bytes())
+	}
+	return j, nil
+}

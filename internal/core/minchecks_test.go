@@ -1,0 +1,26 @@
+package core
+
+import "testing"
+
+func TestVerifierMinChecksPolicy(t *testing.T) {
+	_, p, v := pipeline(t, 40, 1, 6) // prover seals with only 6 checks
+	res, err := p.AggregateEpoch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetMinChecks(48)
+	if _, err := v.VerifyAggregation(res.Receipt); err == nil {
+		t.Fatal("weak seal accepted under MinChecks policy")
+	}
+	// A compliant prover satisfies the same auditor.
+	_, strong, v2 := pipeline(t, 41, 1, 6)
+	v2.SetMinChecks(48)
+	strong.opts.Checks = 64
+	res2, err := strong.AggregateEpoch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.VerifyAggregation(res2.Receipt); err != nil {
+		t.Fatalf("compliant seal rejected: %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestProverCheckpointResumesChain(t *testing.T) {
+	sim, p, v := pipeline(t, 20, 3, 8)
+	// Two rounds, checkpoint, restore, third round: the chain must
+	// continue seamlessly for the verifier.
+	for epoch := uint64(0); epoch < 2; epoch++ {
+		res, err := p.AggregateEpoch(epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.VerifyAggregation(res.Receipt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := p.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadProver(&buf, sim.Store, sim.Ledger, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Round() != 2 || restored.CLogLen() != p.CLogLen() {
+		t.Fatalf("restored rounds=%d flows=%d", restored.Round(), restored.CLogLen())
+	}
+	res, err := restored.AggregateEpoch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.VerifyAggregation(res.Receipt); err != nil {
+		t.Fatalf("chain broken after restore: %v", err)
+	}
+}
+
+func TestProverCheckpointRejectsCorruption(t *testing.T) {
+	sim, p, _ := pipeline(t, 21, 1, 6)
+	if _, err := p.AggregateEpoch(0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a byte inside the serialized CLog entries (the tail).
+	data[len(data)-5] ^= 0xff
+	if _, err := LoadProver(bytes.NewReader(data), sim.Store, sim.Ledger, testOpts); !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("corrupted checkpoint accepted: %v", err)
+	}
+}
+
+func TestProverCheckpointRejectsTruncation(t *testing.T) {
+	sim, p, _ := pipeline(t, 22, 1, 6)
+	if _, err := p.AggregateEpoch(0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{0, 5, 20, len(data) - 3} {
+		if _, err := LoadProver(bytes.NewReader(data[:cut]), sim.Store, sim.Ledger, testOpts); err == nil {
+			t.Fatalf("truncation to %d accepted", cut)
+		}
+	}
+}
+
+func TestGenesisCheckpoint(t *testing.T) {
+	sim, p, _ := pipeline(t, 23, 1, 4)
+	var buf bytes.Buffer
+	if err := p.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadProver(&buf, sim.Store, sim.Ledger, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Round() != 0 || restored.CLogLen() != 0 {
+		t.Fatal("genesis state not empty")
+	}
+	// The restored genesis prover can run round 0.
+	if _, err := restored.AggregateEpoch(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifierStateRoundTrip(t *testing.T) {
+	sim, p, v := pipeline(t, 24, 2, 6)
+	r0, err := p.AggregateEpoch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.VerifyAggregation(r0.Receipt); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := v.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadVerifier(&buf, sim.Ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Rounds() != 1 || restored.TrustedRoot() != v.TrustedRoot() {
+		t.Fatal("verifier state lost")
+	}
+	// The restored verifier accepts the next round...
+	r1, err := p.AggregateEpoch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.VerifyAggregation(r1.Receipt); err != nil {
+		t.Fatalf("restored verifier rejects valid round: %v", err)
+	}
+	// ...and still rejects a replay of round 0.
+	if _, err := restored.VerifyAggregation(r0.Receipt); !errors.Is(err, ErrChainBroken) {
+		t.Fatalf("restored verifier accepted a replay: %v", err)
+	}
+}
+
+func TestLoadVerifierRejectsGarbage(t *testing.T) {
+	if _, err := LoadVerifier(bytes.NewReader([]byte("short")), nil); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	bad := make([]byte, 76)
+	if _, err := LoadVerifier(bytes.NewReader(bad), nil); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"zkflow/internal/ledger"
+	"zkflow/internal/router"
+	"zkflow/internal/store"
+	"zkflow/internal/trafficgen"
+)
+
+// TestRetentionEphemeralLogs models the paper's observation that raw
+// logs are ephemeral: once the store evicts an epoch, that epoch can
+// no longer be aggregated — but epochs aggregated before eviction
+// stay verifiable forever through their receipts.
+func TestRetentionEphemeralLogs(t *testing.T) {
+	st := store.Open(2) // keep only the last two epochs
+	lg := ledger.New()
+	sim := router.NewSim(trafficgen.Config{Seed: 30, NumFlows: 16, Routers: 2}, st, lg)
+	p := NewProver(st, lg, testOpts)
+	v := NewVerifier(lg)
+
+	// Epoch 0 is collected and aggregated while still retained.
+	if _, err := sim.RunEpoch(context.Background(), 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	r0, err := p.AggregateEpoch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Epochs 1..3 arrive; epoch 1 is never aggregated and falls out
+	// of the retention window.
+	for e := uint64(1); e <= 3; e++ {
+		if _, err := sim.RunEpoch(context.Background(), e, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.AggregateEpoch(1); !errors.Is(err, store.ErrEvicted) {
+		t.Fatalf("evicted epoch aggregated: %v", err)
+	}
+
+	// Retained epochs still aggregate, and the receipt chain —
+	// including the long-gone epoch 0 — verifies end to end.
+	r2, err := p.AggregateEpoch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.VerifyAggregation(r0.Receipt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.VerifyAggregation(r2.Receipt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentQueries exercises the prover's concurrent query path
+// (aggregations serialise; queries may race against each other).
+func TestConcurrentQueries(t *testing.T) {
+	_, p, v := pipeline(t, 31, 1, 10)
+	res, err := p.AggregateEpoch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.VerifyAggregation(res.Receipt); err != nil {
+		t.Fatal(err)
+	}
+	sqls := []string{
+		"SELECT COUNT(*) FROM clogs;",
+		"SELECT SUM(packets) FROM clogs;",
+		"SELECT MAX(rtt_max) FROM clogs;",
+		"SELECT AVG(bytes) FROM clogs WHERE proto = 6;",
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(sqls)*2)
+	for i := 0; i < len(errs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sql := sqls[i%len(sqls)]
+			qr, err := p.Query(sql)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if _, err := v.VerifyQuery(sql, qr.Receipt); err != nil {
+				errs[i] = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent query %d: %v", i, err)
+		}
+	}
+}

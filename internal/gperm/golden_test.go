@@ -1,0 +1,28 @@
+package gperm
+
+import (
+	"testing"
+
+	"zkflow/internal/field"
+)
+
+// TestGoldenVectors pins the permutation's exact behaviour: round
+// constants and the MDS matrix are derived in init(), and any
+// accidental change would silently invalidate every committed chain
+// proof and fastagg receipt in the wild. If this test fails after an
+// intentional parameter change, bump the protocol labels too.
+func TestGoldenVectors(t *testing.T) {
+	if got, want := uint64(RoundConstants[0][0]), uint64(0x295e2f783d20f4ce); got != want {
+		t.Errorf("RoundConstants[0][0] = %#x, want %#x", got, want)
+	}
+	var s State
+	s[0] = field.One
+	s.Permute()
+	if got, want := uint64(s[0]), uint64(0xd0d54cff81871985); got != want {
+		t.Errorf("Permute([1,0,...])[0] = %#x, want %#x", got, want)
+	}
+	d := Hash(field.New(1), field.New(2), field.New(3))
+	if got, want := uint64(d[0]), uint64(0xa13bb5c32d8a35a5); got != want {
+		t.Errorf("Hash(1,2,3)[0] = %#x, want %#x", got, want)
+	}
+}

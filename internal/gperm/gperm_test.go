@@ -1,0 +1,173 @@
+package gperm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zkflow/internal/field"
+)
+
+func TestPermuteDeterministic(t *testing.T) {
+	var a, b State
+	a[0], b[0] = field.New(1), field.New(1)
+	a.Permute()
+	b.Permute()
+	if a != b {
+		t.Fatal("permutation not deterministic")
+	}
+}
+
+func TestPermuteChangesState(t *testing.T) {
+	var s State
+	before := s
+	s.Permute()
+	if s == before {
+		t.Fatal("permutation is identity on zero state")
+	}
+}
+
+func TestPermuteIsBijective(t *testing.T) {
+	// Distinct inputs must map to distinct outputs (spot check): if the
+	// MDS matrix were singular this would fail quickly.
+	seen := make(map[State]State)
+	for i := uint64(0); i < 64; i++ {
+		var s State
+		s[0] = field.New(i)
+		in := s
+		s.Permute()
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("collision: %v and %v map to same state", prev, in)
+		}
+		seen[s] = in
+	}
+}
+
+func TestMDSIsInvertibleOnBasis(t *testing.T) {
+	// Every column of the Cauchy matrix must be nonzero everywhere
+	// (necessary condition for MDS).
+	for i := 0; i < Width; i++ {
+		for j := 0; j < Width; j++ {
+			if MDS[i][j] == 0 {
+				t.Fatalf("MDS[%d][%d] = 0", i, j)
+			}
+		}
+	}
+}
+
+func TestHashDeterministicAndSensitive(t *testing.T) {
+	a := Hash(field.New(1), field.New(2), field.New(3))
+	b := Hash(field.New(1), field.New(2), field.New(3))
+	c := Hash(field.New(1), field.New(2), field.New(4))
+	if a != b {
+		t.Fatal("hash not deterministic")
+	}
+	if a == c {
+		t.Fatal("hash insensitive to input change")
+	}
+}
+
+func TestHashLengthExtensionDomainSep(t *testing.T) {
+	// (1,2) and (1,2,0) must differ thanks to 10* padding.
+	a := Hash(field.New(1), field.New(2))
+	b := Hash(field.New(1), field.New(2), field.Zero)
+	if a == b {
+		t.Fatal("padding fails to separate trailing zeros")
+	}
+}
+
+func TestHashEmptyInput(t *testing.T) {
+	d := Hash()
+	var zero Digest
+	if d == zero {
+		t.Fatal("empty hash is zero digest")
+	}
+}
+
+func TestHashMultiBlock(t *testing.T) {
+	xs := make([]field.Elem, Rate*3+1)
+	for i := range xs {
+		xs[i] = field.New(uint64(i * 31))
+	}
+	a := Hash(xs...)
+	xs[len(xs)-1] = field.Add(xs[len(xs)-1], field.One)
+	b := Hash(xs...)
+	if a == b {
+		t.Fatal("last element of multi-block input ignored")
+	}
+}
+
+func TestAbsorbAfterSqueezePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var sp Sponge
+	sp.Absorb(field.One)
+	sp.Squeeze()
+	sp.Absorb(field.One)
+}
+
+func TestSqueezeIdempotent(t *testing.T) {
+	var sp Sponge
+	sp.Absorb(field.New(7))
+	if sp.Squeeze() != sp.Squeeze() {
+		t.Fatal("squeeze not idempotent")
+	}
+}
+
+func TestHashTwoOrderMatters(t *testing.T) {
+	a := Hash(field.New(1))
+	b := Hash(field.New(2))
+	if HashTwo(a, b) == HashTwo(b, a) {
+		t.Fatal("HashTwo symmetric — Merkle positions would be forgeable")
+	}
+}
+
+func TestHashBytes(t *testing.T) {
+	a := HashBytes([]byte("hello world"))
+	b := HashBytes([]byte("hello worle"))
+	if a == b {
+		t.Fatal("byte hash insensitive")
+	}
+	// Length binding: "ab" + "" vs "a" + "b" style ambiguity guard.
+	if HashBytes([]byte{0}) == HashBytes([]byte{0, 0}) {
+		t.Fatal("byte hash ignores length")
+	}
+	if HashBytes(nil) == HashBytes([]byte{0}) {
+		t.Fatal("empty vs single zero byte collide")
+	}
+}
+
+func TestRoundMatchesPermute(t *testing.T) {
+	f := func(seed uint64) bool {
+		var a, b State
+		a[0], b[0] = field.New(seed), field.New(seed)
+		a.Permute()
+		for r := 0; r < Rounds; r++ {
+			b.Round(r)
+		}
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPermute(b *testing.B) {
+	var s State
+	s[0] = field.New(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Permute()
+	}
+}
+
+func BenchmarkHashTwo(b *testing.B) {
+	x := Hash(field.New(1))
+	y := Hash(field.New(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = HashTwo(x, y)
+	}
+}

@@ -1,0 +1,44 @@
+package guest
+
+import (
+	"sync"
+
+	"zkflow/internal/zkvm"
+)
+
+var (
+	pcOnce sync.Once
+	pcProg *zkvm.Program
+)
+
+// PrecompileHashChainProgram returns a guest that reads an iteration
+// count n and a 16-word block, then applies the SysHash precompile n
+// times in place (block[0:8] <- SHA256(block[0:16]) words, rest
+// unchanged each round reads all 16), journalling the first result
+// word. It is the precompile-accelerated counterpart of
+// SoftSHA256ChainProgram for the E6 ablation.
+func PrecompileHashChainProgram() *zkvm.Program {
+	pcOnce.Do(func() {
+		a := zkvm.NewAssembler()
+		const buf = 100
+		a.ReadInput(zkvm.R13) // n
+		for i := 0; i < 16; i++ {
+			a.Ecall(zkvm.SysRead)
+			a.Sw(zkvm.R1, zkvm.R0, uint32(buf+i))
+		}
+		a.Label("loop")
+		a.Beq(zkvm.R13, zkvm.R0, "done")
+		a.Li(zkvm.R1, buf)
+		a.Li(zkvm.R2, 16)
+		a.Li(zkvm.R3, buf)
+		a.Ecall(zkvm.SysHash)
+		a.Addi(zkvm.R13, zkvm.R13, ^uint32(0))
+		a.J("loop")
+		a.Label("done")
+		a.Lw(zkvm.R1, zkvm.R0, buf)
+		a.Ecall(zkvm.SysJournal)
+		a.HaltCode(0)
+		pcProg = a.MustAssemble()
+	})
+	return pcProg
+}

@@ -1,0 +1,267 @@
+package guest
+
+import (
+	"math/bits"
+	"sync"
+
+	"zkflow/internal/zkvm"
+)
+
+// This file implements SHA-256 compression in TinyRISC guest assembly
+// — the cost a zkVM pays for hashing *without* a precompile. RISC
+// Zero's headline optimisation is replacing exactly this (thousands
+// of cycles per block) with an accelerated circuit; our SysHash
+// precompile plays that role. The §7 "specialized proof systems"
+// benchmark (EXPERIMENTS.md E6) compares three provers on the same
+// hash-chain workload: software guest hashing, precompile hashing,
+// and the fastagg STARK.
+
+// sha256K is the round-constant table.
+var sha256K = [64]uint32{
+	0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+	0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+	0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+	0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+	0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+	0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+	0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+	0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+}
+
+// sha256IV is the initial state.
+var sha256IV = [8]uint32{
+	0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+	0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+}
+
+// Guest memory map for the soft-hash program.
+const (
+	shState = 100 // 8 words: a..h chaining state
+	shBlock = 120 // 16 words: message block
+	shK     = 200 // 64 words: round constants
+	shW     = 300 // 64 words: message schedule
+)
+
+var (
+	softOnce sync.Once
+	softProg *zkvm.Program
+)
+
+// SoftSHA256ChainProgram returns a guest that reads an iteration
+// count n and a 16-word block, then applies the SHA-256 compression
+// function n times (state <- Compress(state, block)) in pure TinyRISC
+// code — no precompile — and journals the final 8 state words.
+func SoftSHA256ChainProgram() *zkvm.Program {
+	softOnce.Do(func() { softProg = buildSoftSHA256() })
+	return softProg
+}
+
+// emitRotr leaves rotr(src, r) in dst using tmp as scratch.
+// dst, src, tmp must be distinct registers.
+func emitRotr(a *zkvm.Assembler, dst, src, tmp, r int) {
+	a.Srli(dst, src, uint32(r))
+	a.Slli(tmp, src, uint32(32-r))
+	a.Or(dst, dst, tmp)
+}
+
+func buildSoftSHA256() *zkvm.Program {
+	a := zkvm.NewAssembler()
+
+	// Initialise the K table and the IV.
+	a.Comment("materialise round constants and IV")
+	for t, k := range sha256K {
+		a.Li(zkvm.R2, k)
+		a.Sw(zkvm.R2, zkvm.R0, uint32(shK+t))
+	}
+	for i, v := range sha256IV {
+		a.Li(zkvm.R2, v)
+		a.Sw(zkvm.R2, zkvm.R0, uint32(shState+i))
+	}
+
+	a.Comment("read iteration count and message block")
+	a.ReadInput(zkvm.R13) // n iterations (kept in r13 throughout)
+	for i := 0; i < 16; i++ {
+		a.Ecall(zkvm.SysRead)
+		a.Sw(zkvm.R1, zkvm.R0, uint32(shBlock+i))
+	}
+
+	a.Label("chain.loop")
+	a.Beq(zkvm.R13, zkvm.R0, "chain.done")
+	a.Call("compress")
+	a.Addi(zkvm.R13, zkvm.R13, ^uint32(0)) // n--
+	a.J("chain.loop")
+	a.Label("chain.done")
+	for i := 0; i < 8; i++ {
+		a.Lw(zkvm.R1, zkvm.R0, uint32(shState+i))
+		a.Ecall(zkvm.SysJournal)
+	}
+	a.HaltCode(0)
+
+	// compress: one SHA-256 compression of shBlock into shState.
+	// Clobbers r1-r12, r14; preserves r13 (loop counter).
+	a.Label("compress")
+
+	// Message schedule: W[0..16) = block; W[16..64) expanded.
+	a.Comment("message schedule")
+	a.Li(zkvm.R12, 0)
+	a.Label("sched.copy")
+	a.Li(zkvm.R2, 16)
+	a.Beq(zkvm.R12, zkvm.R2, "sched.expand")
+	a.Addi(zkvm.R2, zkvm.R12, shBlock)
+	a.Lw(zkvm.R3, zkvm.R2, 0)
+	a.Addi(zkvm.R2, zkvm.R12, shW)
+	a.Sw(zkvm.R3, zkvm.R2, 0)
+	a.Addi(zkvm.R12, zkvm.R12, 1)
+	a.J("sched.copy")
+
+	a.Label("sched.expand")
+	a.Li(zkvm.R2, 64)
+	a.Beq(zkvm.R12, zkvm.R2, "rounds.init")
+	// s0 = rotr7(w15) ^ rotr18(w15) ^ (w15 >> 3), w15 = W[t-15]
+	a.Addi(zkvm.R2, zkvm.R12, shW-15)
+	a.Lw(zkvm.R4, zkvm.R2, 0)
+	emitRotr(a, zkvm.R5, zkvm.R4, zkvm.R3, 7)
+	emitRotr(a, zkvm.R6, zkvm.R4, zkvm.R3, 18)
+	a.Xor(zkvm.R5, zkvm.R5, zkvm.R6)
+	a.Srli(zkvm.R6, zkvm.R4, 3)
+	a.Xor(zkvm.R5, zkvm.R5, zkvm.R6) // r5 = s0
+	// s1 = rotr17(w2) ^ rotr19(w2) ^ (w2 >> 10), w2 = W[t-2]
+	a.Addi(zkvm.R2, zkvm.R12, shW-2)
+	a.Lw(zkvm.R4, zkvm.R2, 0)
+	emitRotr(a, zkvm.R7, zkvm.R4, zkvm.R3, 17)
+	emitRotr(a, zkvm.R6, zkvm.R4, zkvm.R3, 19)
+	a.Xor(zkvm.R7, zkvm.R7, zkvm.R6)
+	a.Srli(zkvm.R6, zkvm.R4, 10)
+	a.Xor(zkvm.R7, zkvm.R7, zkvm.R6) // r7 = s1
+	// W[t] = W[t-16] + s0 + W[t-7] + s1
+	a.Addi(zkvm.R2, zkvm.R12, shW-16)
+	a.Lw(zkvm.R4, zkvm.R2, 0)
+	a.Add(zkvm.R4, zkvm.R4, zkvm.R5)
+	a.Addi(zkvm.R2, zkvm.R12, shW-7)
+	a.Lw(zkvm.R6, zkvm.R2, 0)
+	a.Add(zkvm.R4, zkvm.R4, zkvm.R6)
+	a.Add(zkvm.R4, zkvm.R4, zkvm.R7)
+	a.Addi(zkvm.R2, zkvm.R12, shW)
+	a.Sw(zkvm.R4, zkvm.R2, 0)
+	a.Addi(zkvm.R12, zkvm.R12, 1)
+	a.J("sched.expand")
+
+	// Working registers: a..h live in memory alongside two rotating
+	// scratch registers to fit the 16-register file. To keep the
+	// round loop register-resident we hold (a,b,c,d) in r4-r7 and
+	// (e,f,g,h) in r8-r11.
+	a.Label("rounds.init")
+	a.Lw(zkvm.R4, zkvm.R0, shState+0)
+	a.Lw(zkvm.R5, zkvm.R0, shState+1)
+	a.Lw(zkvm.R6, zkvm.R0, shState+2)
+	a.Lw(zkvm.R7, zkvm.R0, shState+3)
+	a.Lw(zkvm.R8, zkvm.R0, shState+4)
+	a.Lw(zkvm.R9, zkvm.R0, shState+5)
+	a.Lw(zkvm.R10, zkvm.R0, shState+6)
+	a.Lw(zkvm.R11, zkvm.R0, shState+7)
+	a.Li(zkvm.R12, 0)
+
+	a.Label("rounds.loop")
+	a.Li(zkvm.R2, 64)
+	a.Beq(zkvm.R12, zkvm.R2, "rounds.done")
+	// T1 = h + Sigma1(e) + Ch(e,f,g) + K[t] + W[t]
+	emitRotr(a, zkvm.R14, zkvm.R8, zkvm.R3, 6)
+	emitRotr(a, zkvm.R1, zkvm.R8, zkvm.R3, 11)
+	a.Xor(zkvm.R14, zkvm.R14, zkvm.R1)
+	emitRotr(a, zkvm.R1, zkvm.R8, zkvm.R3, 25)
+	a.Xor(zkvm.R14, zkvm.R14, zkvm.R1) // r14 = Sigma1(e)
+	a.And(zkvm.R1, zkvm.R8, zkvm.R9)   // e & f
+	a.Xori(zkvm.R3, zkvm.R8, 0xffffffff)
+	a.And(zkvm.R3, zkvm.R3, zkvm.R10) // ~e & g
+	a.Xor(zkvm.R1, zkvm.R1, zkvm.R3)  // Ch
+	a.Add(zkvm.R14, zkvm.R14, zkvm.R1)
+	a.Add(zkvm.R14, zkvm.R14, zkvm.R11) // + h
+	a.Addi(zkvm.R2, zkvm.R12, shK)
+	a.Lw(zkvm.R1, zkvm.R2, 0)
+	a.Add(zkvm.R14, zkvm.R14, zkvm.R1) // + K[t]
+	a.Addi(zkvm.R2, zkvm.R12, shW)
+	a.Lw(zkvm.R1, zkvm.R2, 0)
+	a.Add(zkvm.R14, zkvm.R14, zkvm.R1) // r14 = T1
+	// T2 = Sigma0(a) + Maj(a,b,c); keep T2 in r2.
+	emitRotr(a, zkvm.R2, zkvm.R4, zkvm.R3, 2)
+	emitRotr(a, zkvm.R1, zkvm.R4, zkvm.R3, 13)
+	a.Xor(zkvm.R2, zkvm.R2, zkvm.R1)
+	emitRotr(a, zkvm.R1, zkvm.R4, zkvm.R3, 22)
+	a.Xor(zkvm.R2, zkvm.R2, zkvm.R1) // Sigma0(a)
+	a.And(zkvm.R1, zkvm.R4, zkvm.R5)
+	a.And(zkvm.R3, zkvm.R4, zkvm.R6)
+	a.Xor(zkvm.R1, zkvm.R1, zkvm.R3)
+	a.And(zkvm.R3, zkvm.R5, zkvm.R6)
+	a.Xor(zkvm.R1, zkvm.R1, zkvm.R3) // Maj
+	a.Add(zkvm.R2, zkvm.R2, zkvm.R1) // r2 = T2
+	// Rotate the working variables.
+	a.Mov(zkvm.R11, zkvm.R10)         // h = g
+	a.Mov(zkvm.R10, zkvm.R9)          // g = f
+	a.Mov(zkvm.R9, zkvm.R8)           // f = e
+	a.Add(zkvm.R8, zkvm.R7, zkvm.R14) // e = d + T1
+	a.Mov(zkvm.R7, zkvm.R6)           // d = c
+	a.Mov(zkvm.R6, zkvm.R5)           // c = b
+	a.Mov(zkvm.R5, zkvm.R4)           // b = a
+	a.Add(zkvm.R4, zkvm.R14, zkvm.R2) // a = T1 + T2
+	a.Addi(zkvm.R12, zkvm.R12, 1)
+	a.J("rounds.loop")
+
+	a.Label("rounds.done")
+	// State += working variables.
+	for i, reg := range []int{zkvm.R4, zkvm.R5, zkvm.R6, zkvm.R7, zkvm.R8, zkvm.R9, zkvm.R10, zkvm.R11} {
+		a.Lw(zkvm.R2, zkvm.R0, uint32(shState+i))
+		a.Add(zkvm.R2, zkvm.R2, reg)
+		a.Sw(zkvm.R2, zkvm.R0, uint32(shState+i))
+	}
+	a.Ret()
+
+	return a.MustAssemble()
+}
+
+// SoftSHA256Input builds the soft-hash guest's input tape.
+func SoftSHA256Input(iterations uint32, block [16]uint32) []uint32 {
+	out := make([]uint32, 0, 17)
+	out = append(out, iterations)
+	out = append(out, block[:]...)
+	return out
+}
+
+// RefSHA256Compress is the host-side reference of the compression
+// function, used for differential testing of the guest.
+func RefSHA256Compress(state [8]uint32, block [16]uint32) [8]uint32 {
+	var w [64]uint32
+	copy(w[:16], block[:])
+	for t := 16; t < 64; t++ {
+		s0 := bits.RotateLeft32(w[t-15], -7) ^ bits.RotateLeft32(w[t-15], -18) ^ (w[t-15] >> 3)
+		s1 := bits.RotateLeft32(w[t-2], -17) ^ bits.RotateLeft32(w[t-2], -19) ^ (w[t-2] >> 10)
+		w[t] = w[t-16] + s0 + w[t-7] + s1
+	}
+	a, b, c, d, e, f, g, h := state[0], state[1], state[2], state[3], state[4], state[5], state[6], state[7]
+	for t := 0; t < 64; t++ {
+		S1 := bits.RotateLeft32(e, -6) ^ bits.RotateLeft32(e, -11) ^ bits.RotateLeft32(e, -25)
+		ch := (e & f) ^ (^e & g)
+		t1 := h + S1 + ch + sha256K[t] + w[t]
+		S0 := bits.RotateLeft32(a, -2) ^ bits.RotateLeft32(a, -13) ^ bits.RotateLeft32(a, -22)
+		maj := (a & b) ^ (a & c) ^ (b & c)
+		t2 := S0 + maj
+		h, g, f, e, d, c, b, a = g, f, e, d+t1, c, b, a, t1+t2
+	}
+	state[0] += a
+	state[1] += b
+	state[2] += c
+	state[3] += d
+	state[4] += e
+	state[5] += f
+	state[6] += g
+	state[7] += h
+	return state
+}
+
+// RefSHA256Chain iterates the reference compression from the IV.
+func RefSHA256Chain(iterations uint32, block [16]uint32) [8]uint32 {
+	state := sha256IV
+	for i := uint32(0); i < iterations; i++ {
+		state = RefSHA256Compress(state, block)
+	}
+	return state
+}

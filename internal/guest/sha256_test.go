@@ -1,0 +1,87 @@
+package guest
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+
+	"zkflow/internal/zkvm"
+)
+
+func testBlock() [16]uint32 {
+	var b [16]uint32
+	for i := range b {
+		b[i] = uint32(i*0x01010101 + 7)
+	}
+	return b
+}
+
+func TestRefCompressMatchesStdlib(t *testing.T) {
+	// One compression of a 64-byte block from the IV equals the
+	// SHA-256 state after that block (checked via the digest of a
+	// message that is exactly one padded block: 0-length message has
+	// padding block only — instead compare against crypto/sha256 on a
+	// 64-byte message minus final padding is awkward. Use the known
+	// property: SHA256("") digest equals compress(IV, padBlock).
+	var pad [16]uint32
+	pad[0] = 0x80000000
+	state := RefSHA256Compress([8]uint32{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19}, pad)
+	want := sha256.Sum256(nil)
+	for i := 0; i < 8; i++ {
+		if binary.BigEndian.Uint32(want[4*i:]) != state[i] {
+			t.Fatalf("word %d: %#x != %#x", i, state[i], binary.BigEndian.Uint32(want[4*i:]))
+		}
+	}
+}
+
+func TestSoftSHA256GuestDifferential(t *testing.T) {
+	prog := SoftSHA256ChainProgram()
+	for _, n := range []uint32{0, 1, 2, 5} {
+		ex, err := zkvm.Execute(prog, SoftSHA256Input(n, testBlock()), zkvm.ExecOptions{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if ex.ExitCode != 0 {
+			t.Fatalf("n=%d: exit %d", n, ex.ExitCode)
+		}
+		want := RefSHA256Chain(n, testBlock())
+		if len(ex.Journal) != 8 {
+			t.Fatalf("n=%d: journal %d words", n, len(ex.Journal))
+		}
+		for i := 0; i < 8; i++ {
+			if ex.Journal[i] != want[i] {
+				t.Fatalf("n=%d word %d: guest %#x, reference %#x", n, i, ex.Journal[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSoftSHA256CycleCount(t *testing.T) {
+	prog := SoftSHA256ChainProgram()
+	ex1, err := zkvm.Execute(prog, SoftSHA256Input(1, testBlock()), zkvm.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2, err := zkvm.Execute(prog, SoftSHA256Input(2, testBlock()), zkvm.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHash := len(ex2.Rows) - len(ex1.Rows)
+	// A software SHA-256 compression should cost thousands of cycles
+	// (that is the whole point of precompiles).
+	if perHash < 2000 || perHash > 20000 {
+		t.Fatalf("cycles per compression = %d, outside plausible range", perHash)
+	}
+	t.Logf("software SHA-256 compression: %d cycles", perHash)
+}
+
+func TestSoftSHA256ProveVerify(t *testing.T) {
+	prog := SoftSHA256ChainProgram()
+	r, err := zkvm.Prove(prog, SoftSHA256Input(1, testBlock()), zkvm.ProveOptions{Checks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zkvm.Verify(prog, r, zkvm.VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}

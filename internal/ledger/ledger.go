@@ -1,0 +1,170 @@
+// Package ledger implements the public commitment bulletin board:
+// the append-only, hash-chained log where routers publish their
+// periodic RLog hash commitments (paper §3). Anyone holding the chain
+// head can detect retroactive insertion, deletion, or modification of
+// a published commitment — the property the tamper experiment (§5/§6)
+// relies on.
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"zkflow/internal/merkle"
+	"zkflow/internal/netflow"
+)
+
+// Commitment is one published per-router, per-epoch hash commitment.
+type Commitment struct {
+	Index  uint64 // position in the chain
+	Router uint32
+	Epoch  uint64
+	Hash   merkle.Hash // SHA-256 over the router's wire-encoded epoch batch
+	Link   merkle.Hash // chain link: H(prevLink || index || router || epoch || hash)
+}
+
+// CommitRecords computes the canonical commitment hash of an RLog
+// batch: SHA-256 over the concatenated wire encodings. This must match
+// what the aggregation guest recomputes in-VM.
+func CommitRecords(recs []netflow.Record) merkle.Hash {
+	return sha256.Sum256(netflow.EncodeBatch(recs))
+}
+
+// link computes the chain link for a commitment given its predecessor.
+func link(prev merkle.Hash, index uint64, router uint32, epoch uint64, hash merkle.Hash) merkle.Hash {
+	h := sha256.New()
+	h.Write(prev[:])
+	var buf [20]byte
+	binary.LittleEndian.PutUint64(buf[0:], index)
+	binary.LittleEndian.PutUint32(buf[8:], router)
+	binary.LittleEndian.PutUint64(buf[12:], epoch)
+	h.Write(buf[:])
+	h.Write(hash[:])
+	var out merkle.Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// genesis is the chain link before any commitment.
+var genesis = merkle.Hash(sha256.Sum256([]byte("zkflow/ledger/genesis/v1")))
+
+// Errors returned by the ledger.
+var (
+	ErrDuplicate = errors.New("ledger: commitment already published for that router/epoch")
+	ErrNotFound  = errors.New("ledger: no commitment for that router/epoch")
+	ErrBroken    = errors.New("ledger: hash chain broken")
+)
+
+// Ledger is an append-only, hash-chained commitment log. Safe for
+// concurrent use.
+type Ledger struct {
+	mu      sync.RWMutex
+	entries []Commitment
+	index   map[[12]byte]int // (router, epoch) -> entry index
+}
+
+// New returns an empty ledger.
+func New() *Ledger {
+	return &Ledger{index: make(map[[12]byte]int)}
+}
+
+func ikey(router uint32, epoch uint64) [12]byte {
+	var k [12]byte
+	binary.LittleEndian.PutUint32(k[0:], router)
+	binary.LittleEndian.PutUint64(k[4:], epoch)
+	return k
+}
+
+// Publish appends a commitment. A router may publish at most once per
+// epoch — re-publication (the obvious tamper path) is rejected.
+func (l *Ledger) Publish(router uint32, epoch uint64, hash merkle.Hash) (Commitment, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := ikey(router, epoch)
+	if _, dup := l.index[k]; dup {
+		return Commitment{}, fmt.Errorf("%w: router %d epoch %d", ErrDuplicate, router, epoch)
+	}
+	prev := genesis
+	if n := len(l.entries); n > 0 {
+		prev = l.entries[n-1].Link
+	}
+	c := Commitment{
+		Index:  uint64(len(l.entries)),
+		Router: router,
+		Epoch:  epoch,
+		Hash:   hash,
+		Link:   link(prev, uint64(len(l.entries)), router, epoch, hash),
+	}
+	l.index[k] = len(l.entries)
+	l.entries = append(l.entries, c)
+	return c, nil
+}
+
+// Lookup returns the commitment a router published for an epoch.
+func (l *Ledger) Lookup(router uint32, epoch uint64) (Commitment, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	i, ok := l.index[ikey(router, epoch)]
+	if !ok {
+		return Commitment{}, fmt.Errorf("%w: router %d epoch %d", ErrNotFound, router, epoch)
+	}
+	return l.entries[i], nil
+}
+
+// Head returns the current chain head (genesis for an empty ledger)
+// and the chain length.
+func (l *Ledger) Head() (merkle.Hash, int) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.entries) == 0 {
+		return genesis, 0
+	}
+	return l.entries[len(l.entries)-1].Link, len(l.entries)
+}
+
+// Entries returns a copy of the full chain.
+func (l *Ledger) Entries() []Commitment {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Commitment, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// FromEntries reconstructs a ledger from a downloaded chain after
+// verifying every link — how a remote auditor bootstraps its local
+// view of the bulletin board.
+func FromEntries(entries []Commitment) (*Ledger, error) {
+	if err := VerifyChain(entries); err != nil {
+		return nil, err
+	}
+	l := New()
+	for _, c := range entries {
+		if _, err := l.Publish(c.Router, c.Epoch, c.Hash); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// VerifyChain re-derives every link and reports the first break — the
+// auditor-side check that the bulletin board operator has not rewritten
+// history.
+func VerifyChain(entries []Commitment) error {
+	prev := genesis
+	for i := range entries {
+		c := &entries[i]
+		if c.Index != uint64(i) {
+			return fmt.Errorf("%w: entry %d claims index %d", ErrBroken, i, c.Index)
+		}
+		want := link(prev, c.Index, c.Router, c.Epoch, c.Hash)
+		if c.Link != want {
+			return fmt.Errorf("%w: entry %d link mismatch", ErrBroken, i)
+		}
+		prev = c.Link
+	}
+	return nil
+}

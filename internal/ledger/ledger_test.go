@@ -1,0 +1,149 @@
+package ledger
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"zkflow/internal/merkle"
+	"zkflow/internal/netflow"
+)
+
+func h(b byte) merkle.Hash {
+	var out merkle.Hash
+	out[0] = b
+	return out
+}
+
+func TestPublishLookup(t *testing.T) {
+	l := New()
+	c, err := l.Publish(1, 10, h(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Index != 0 {
+		t.Fatalf("index %d", c.Index)
+	}
+	got, err := l.Lookup(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatal("lookup mismatch")
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	l := New()
+	if _, err := l.Publish(1, 10, h(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Publish(1, 10, h(2)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("got %v", err)
+	}
+	// Same router, other epoch: fine. Other router, same epoch: fine.
+	if _, err := l.Publish(1, 11, h(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Publish(2, 10, h(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	l := New()
+	if _, err := l.Lookup(9, 9); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestChainVerifies(t *testing.T) {
+	l := New()
+	for i := uint32(0); i < 20; i++ {
+		if _, err := l.Publish(i%4, uint64(i/4), h(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := VerifyChain(l.Entries()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainDetectsRewrite(t *testing.T) {
+	l := New()
+	for i := uint32(0); i < 5; i++ {
+		if _, err := l.Publish(i, 1, h(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := l.Entries()
+	entries[2].Hash[0] ^= 1 // rewrite a published commitment
+	if err := VerifyChain(entries); !errors.Is(err, ErrBroken) {
+		t.Fatalf("rewrite undetected: %v", err)
+	}
+}
+
+func TestChainDetectsDeletion(t *testing.T) {
+	l := New()
+	for i := uint32(0); i < 5; i++ {
+		if _, err := l.Publish(i, 1, h(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := l.Entries()
+	cut := append(entries[:2], entries[3:]...)
+	if err := VerifyChain(cut); !errors.Is(err, ErrBroken) {
+		t.Fatalf("deletion undetected: %v", err)
+	}
+}
+
+func TestHeadAdvances(t *testing.T) {
+	l := New()
+	h0, n0 := l.Head()
+	if n0 != 0 {
+		t.Fatal("nonzero initial length")
+	}
+	if _, err := l.Publish(0, 0, h(1)); err != nil {
+		t.Fatal(err)
+	}
+	h1, n1 := l.Head()
+	if n1 != 1 || h1 == h0 {
+		t.Fatal("head did not advance")
+	}
+}
+
+func TestCommitRecordsBindsContent(t *testing.T) {
+	recs := []netflow.Record{{Key: netflow.FlowKey{SrcIP: 1}, Packets: 10}}
+	a := CommitRecords(recs)
+	recs[0].Packets = 11
+	if a == CommitRecords(recs) {
+		t.Fatal("commitment insensitive to record change")
+	}
+	if CommitRecords(nil) == a {
+		t.Fatal("empty batch collides")
+	}
+}
+
+func TestConcurrentPublish(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for r := uint32(0); r < 8; r++ {
+		wg.Add(1)
+		go func(r uint32) {
+			defer wg.Done()
+			for e := uint64(0); e < 25; e++ {
+				if _, err := l.Publish(r, e, h(byte(r))); err != nil {
+					t.Errorf("publish: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if err := VerifyChain(l.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	if _, n := l.Head(); n != 200 {
+		t.Fatalf("chain length %d", n)
+	}
+}

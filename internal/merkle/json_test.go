@@ -1,0 +1,53 @@
+package merkle
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestHashJSONRoundTrip(t *testing.T) {
+	h := LeafHash([]byte("payload"))
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hash
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatal("round trip lost the hash")
+	}
+}
+
+func TestHashJSONInStruct(t *testing.T) {
+	type doc struct {
+		Root Hash `json:"root"`
+	}
+	d := doc{Root: LeafHash([]byte("x"))}
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back doc
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Root != d.Root {
+		t.Fatal("struct round trip failed")
+	}
+}
+
+func TestHashJSONRejectsBadInput(t *testing.T) {
+	var h Hash
+	for _, bad := range []string{
+		`"zz"`,                               // bad hex
+		`"abcd"`,                             // wrong length
+		`123`,                                // not a string
+		`"` + string(make([]byte, 63)) + `"`, // odd length garbage
+	} {
+		if err := json.Unmarshal([]byte(bad), &h); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package merkle implements SHA-256 Merkle trees with inclusion proofs,
+// contiguous range proofs, and O(log n) incremental updates.
+//
+// Trees are the authenticated data structure at the heart of the system
+// (paper §4.1): CLog entries are leaves, the root is a compact
+// commitment, and both the aggregation and query guests check or rebuild
+// it. The same trees commit zkVM execution traces and FRI layers.
+//
+// Leaf and node hashes are domain-separated (0x00 / 0x01 prefixes) so a
+// leaf can never be confused with an internal node (second-preimage
+// hardening). Leaf counts need not be powers of two; the tree pads with
+// a fixed empty hash.
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Hash is a SHA-256 digest.
+type Hash [32]byte
+
+// String renders the first 8 bytes of the digest in hex.
+func (h Hash) String() string { return fmt.Sprintf("%x", h[:8]) }
+
+// MarshalJSON encodes the hash as a hex string.
+func (h Hash) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", hex.EncodeToString(h[:]))), nil
+}
+
+// UnmarshalJSON decodes a hex string hash.
+func (h *Hash) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return fmt.Errorf("merkle: bad hash hex: %w", err)
+	}
+	if len(b) != 32 {
+		return fmt.Errorf("merkle: hash has %d bytes", len(b))
+	}
+	copy(h[:], b)
+	return nil
+}
+
+var (
+	// ErrIndexOutOfRange reports a leaf index beyond the tree.
+	ErrIndexOutOfRange = errors.New("merkle: leaf index out of range")
+	// ErrProofInvalid reports a structurally broken proof.
+	ErrProofInvalid = errors.New("merkle: malformed proof")
+)
+
+// emptyHash pads trees whose leaf count is not a power of two.
+var emptyHash = sha256.Sum256([]byte("zkflow/merkle/empty-leaf/v1"))
+
+// LeafHash hashes raw leaf data with the leaf domain prefix.
+func LeafHash(data []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(data)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// NodeHash combines two child hashes with the node domain prefix.
+func NodeHash(left, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// Tree is an immutable-by-default Merkle tree (Update mutates in place).
+type Tree struct {
+	nLeaves int
+	// levels[0] is the padded leaf level; levels[len-1] is [root].
+	levels [][]Hash
+}
+
+// Build constructs a tree over raw leaves (hashed with LeafHash).
+func Build(leaves [][]byte) *Tree {
+	hashes := make([]Hash, len(leaves))
+	for i, l := range leaves {
+		hashes[i] = LeafHash(l)
+	}
+	return BuildHashes(hashes)
+}
+
+// BuildHashes constructs a tree over precomputed leaf hashes.
+// An empty input produces a one-leaf tree over the empty hash.
+func BuildHashes(leafHashes []Hash) *Tree {
+	n := len(leafHashes)
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	level := make([]Hash, size)
+	copy(level, leafHashes)
+	for i := n; i < size; i++ {
+		level[i] = emptyHash
+	}
+	t := &Tree{nLeaves: n, levels: [][]Hash{level}}
+	for len(level) > 1 {
+		next := make([]Hash, len(level)/2)
+		for i := range next {
+			next[i] = NodeHash(level[2*i], level[2*i+1])
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t
+}
+
+// Root returns the Merkle root.
+func (t *Tree) Root() Hash { return t.levels[len(t.levels)-1][0] }
+
+// Len returns the number of (unpadded) leaves.
+func (t *Tree) Len() int { return t.nLeaves }
+
+// Depth returns the number of levels above the leaves.
+func (t *Tree) Depth() int { return len(t.levels) - 1 }
+
+// Leaf returns the hash of leaf i.
+func (t *Tree) Leaf(i int) (Hash, error) {
+	if i < 0 || i >= t.nLeaves {
+		return Hash{}, ErrIndexOutOfRange
+	}
+	return t.levels[0][i], nil
+}
+
+// Proof is an inclusion proof for a single leaf: the sibling hash at
+// each level from the leaf up to (excluding) the root.
+type Proof struct {
+	Index int
+	Path  []Hash
+}
+
+// Size returns the encoded size of the proof in bytes.
+func (p Proof) Size() int { return 8 + 32*len(p.Path) }
+
+// Prove returns an inclusion proof for leaf i.
+func (t *Tree) Prove(i int) (Proof, error) {
+	if i < 0 || i >= t.nLeaves {
+		return Proof{}, ErrIndexOutOfRange
+	}
+	p := Proof{Index: i, Path: make([]Hash, 0, t.Depth())}
+	idx := i
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		p.Path = append(p.Path, t.levels[lvl][idx^1])
+		idx >>= 1
+	}
+	return p, nil
+}
+
+// Verify checks that leafHash is committed at p.Index under root.
+func Verify(root Hash, leafHash Hash, p Proof) bool {
+	if p.Index < 0 {
+		return false
+	}
+	h := leafHash
+	idx := p.Index
+	for _, sib := range p.Path {
+		if idx&1 == 0 {
+			h = NodeHash(h, sib)
+		} else {
+			h = NodeHash(sib, h)
+		}
+		idx >>= 1
+	}
+	return idx == 0 && h == root
+}
+
+// Update replaces the hash of leaf i and recomputes the path to the
+// root in O(log n).
+func (t *Tree) Update(i int, leafHash Hash) error {
+	if i < 0 || i >= t.nLeaves {
+		return ErrIndexOutOfRange
+	}
+	t.levels[0][i] = leafHash
+	idx := i
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		parent := idx >> 1
+		t.levels[lvl+1][parent] = NodeHash(t.levels[lvl][2*parent], t.levels[lvl][2*parent+1])
+		idx = parent
+	}
+	return nil
+}
+
+// RangeProof authenticates the contiguous leaf range [Lo, Hi): it
+// carries exactly the off-range subtree hashes needed to recompute the
+// root from the range's leaf hashes.
+type RangeProof struct {
+	Lo, Hi int // half-open leaf interval
+	Hashes []Hash
+}
+
+// Size returns the encoded size of the proof in bytes.
+func (p RangeProof) Size() int { return 16 + 32*len(p.Hashes) }
+
+// ProveRange returns a proof for leaves [lo, hi).
+func (t *Tree) ProveRange(lo, hi int) (RangeProof, error) {
+	if lo < 0 || hi > t.nLeaves || lo >= hi {
+		return RangeProof{}, ErrIndexOutOfRange
+	}
+	p := RangeProof{Lo: lo, Hi: hi}
+	t.collectRange(len(t.levels)-1, 0, lo, hi, &p.Hashes)
+	return p, nil
+}
+
+// collectRange walks the tree from the root down, appending hashes of
+// maximal subtrees disjoint from [lo, hi) in deterministic DFS order.
+func (t *Tree) collectRange(lvl, idx, lo, hi int, out *[]Hash) {
+	nodeLo := idx << lvl
+	nodeHi := nodeLo + (1 << lvl)
+	if nodeHi <= lo || nodeLo >= hi {
+		*out = append(*out, t.levels[lvl][idx])
+		return
+	}
+	if lvl == 0 {
+		return // in-range leaf: supplied by the verifier
+	}
+	t.collectRange(lvl-1, 2*idx, lo, hi, out)
+	t.collectRange(lvl-1, 2*idx+1, lo, hi, out)
+}
+
+// VerifyRange checks that leafHashes occupy [p.Lo, p.Hi) under root.
+// totalLeaves must be the unpadded leaf count of the committed tree.
+func VerifyRange(root Hash, totalLeaves int, leafHashes []Hash, p RangeProof) bool {
+	if p.Lo < 0 || p.Hi > totalLeaves || p.Lo >= p.Hi || p.Hi-p.Lo != len(leafHashes) {
+		return false
+	}
+	size := 1
+	for size < totalLeaves {
+		size <<= 1
+	}
+	depth := bits.TrailingZeros(uint(size))
+	hi := 0 // cursor into p.Hashes
+	li := 0 // cursor into leafHashes
+	h, ok := rebuildRange(depth, 0, p.Lo, p.Hi, p.Hashes, leafHashes, &hi, &li)
+	return ok && hi == len(p.Hashes) && li == len(leafHashes) && h == root
+}
+
+func rebuildRange(lvl, idx, lo, hi int, proofHashes, leafHashes []Hash, pi, li *int) (Hash, bool) {
+	nodeLo := idx << lvl
+	nodeHi := nodeLo + (1 << lvl)
+	if nodeHi <= lo || nodeLo >= hi {
+		if *pi >= len(proofHashes) {
+			return Hash{}, false
+		}
+		h := proofHashes[*pi]
+		*pi++
+		return h, true
+	}
+	if lvl == 0 {
+		if *li >= len(leafHashes) {
+			return Hash{}, false
+		}
+		h := leafHashes[*li]
+		*li++
+		return h, true
+	}
+	l, ok := rebuildRange(lvl-1, 2*idx, lo, hi, proofHashes, leafHashes, pi, li)
+	if !ok {
+		return Hash{}, false
+	}
+	r, ok := rebuildRange(lvl-1, 2*idx+1, lo, hi, proofHashes, leafHashes, pi, li)
+	if !ok {
+		return Hash{}, false
+	}
+	return NodeHash(l, r), true
+}

@@ -1,0 +1,309 @@
+package netflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file implements a simplified sFlow v5 encoding (RFC 3176
+// lineage) — the other telemetry source the paper names next to
+// NetFlow. An sFlow agent exports *sampled packets*: each flow sample
+// carries the sampling rate and the raw header bytes of one sampled
+// packet. We synthesise Ethernet+IPv4+L4 headers for our flow keys on
+// encode and parse them back on decode, scaling packet counts by the
+// sampling rate the way a real collector estimates totals.
+
+// SFlowVersion is the datagram version.
+const SFlowVersion = 5
+
+// sFlow structure constants (subset).
+const (
+	sflowSampleFlow     = 1
+	sflowRecordRawPkt   = 1
+	sflowHeaderEthernet = 1
+
+	etherTypeIPv4 = 0x0800
+	ethHeaderLen  = 14
+	ipv4HeaderLen = 20
+	l4HeaderLen   = 4 // ports only; enough for flow keys
+	rawHeaderLen  = ethHeaderLen + ipv4HeaderLen + l4HeaderLen
+)
+
+// SFlowSample is one sampled flow observation.
+type SFlowSample struct {
+	// SamplingRate is the 1-in-N packet sampling ratio.
+	SamplingRate uint32
+	// Key identifies the sampled packet's flow.
+	Key FlowKey
+	// FrameLen is the sampled packet's original length in bytes.
+	FrameLen uint32
+}
+
+// SFlowDatagram is a decoded export datagram.
+type SFlowDatagram struct {
+	AgentIP  uint32
+	SubAgent uint32
+	Sequence uint32
+	Uptime   uint32
+	Samples  []SFlowSample
+}
+
+// ipv4Checksum computes the ones'-complement header checksum.
+func ipv4Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// buildRawHeader synthesises Ethernet+IPv4+L4 header bytes for a key.
+func buildRawHeader(key FlowKey, frameLen uint32) []byte {
+	hdr := make([]byte, rawHeaderLen)
+	// Ethernet: zero MACs, IPv4 ethertype.
+	binary.BigEndian.PutUint16(hdr[12:], etherTypeIPv4)
+	ip := hdr[ethHeaderLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	totalLen := frameLen
+	if totalLen < ipv4HeaderLen+l4HeaderLen {
+		totalLen = ipv4HeaderLen + l4HeaderLen
+	}
+	if totalLen > 0xffff {
+		totalLen = 0xffff
+	}
+	binary.BigEndian.PutUint16(ip[2:], uint16(totalLen))
+	ip[8] = 64 // TTL
+	ip[9] = key.Proto
+	binary.BigEndian.PutUint32(ip[12:], key.SrcIP)
+	binary.BigEndian.PutUint32(ip[16:], key.DstIP)
+	binary.BigEndian.PutUint16(ip[10:], ipv4Checksum(ip[:ipv4HeaderLen]))
+	l4 := ip[ipv4HeaderLen:]
+	binary.BigEndian.PutUint16(l4[0:], key.SrcPort)
+	binary.BigEndian.PutUint16(l4[2:], key.DstPort)
+	return hdr
+}
+
+// parseRawHeader inverts buildRawHeader, validating structure and the
+// IPv4 checksum.
+func parseRawHeader(hdr []byte) (FlowKey, error) {
+	var key FlowKey
+	if len(hdr) < rawHeaderLen {
+		return key, fmt.Errorf("netflow: raw header of %d bytes too short", len(hdr))
+	}
+	if binary.BigEndian.Uint16(hdr[12:]) != etherTypeIPv4 {
+		return key, errors.New("netflow: not an IPv4 frame")
+	}
+	ip := hdr[ethHeaderLen:]
+	if ip[0]>>4 != 4 || ip[0]&0x0f != 5 {
+		return key, errors.New("netflow: unexpected IPv4 header shape")
+	}
+	if binary.BigEndian.Uint16(ip[10:]) != ipv4Checksum(ip[:ipv4HeaderLen]) {
+		return key, errors.New("netflow: IPv4 checksum mismatch")
+	}
+	key.Proto = ip[9]
+	key.SrcIP = binary.BigEndian.Uint32(ip[12:])
+	key.DstIP = binary.BigEndian.Uint32(ip[16:])
+	l4 := ip[ipv4HeaderLen:]
+	key.SrcPort = binary.BigEndian.Uint16(l4[0:])
+	key.DstPort = binary.BigEndian.Uint16(l4[2:])
+	return key, nil
+}
+
+// EncodeSFlow serialises a datagram.
+func EncodeSFlow(d *SFlowDatagram) []byte {
+	var out []byte
+	u32 := func(v uint32) { out = binary.BigEndian.AppendUint32(out, v) }
+	u32(SFlowVersion)
+	u32(1) // agent address type: IPv4
+	u32(d.AgentIP)
+	u32(d.SubAgent)
+	u32(d.Sequence)
+	u32(d.Uptime)
+	u32(uint32(len(d.Samples)))
+	for i, s := range d.Samples {
+		u32(sflowSampleFlow)
+		// Sample body: seq, sourceID, rate, pool, drops, in, out, nrecs,
+		// then one raw-packet record.
+		recBody := 16 + rawHeaderLen // format hdr + raw pkt fields + header
+		body := 8*4 + 8 + recBody
+		u32(uint32(body))
+		u32(d.Sequence + uint32(i))
+		u32(0) // source id
+		u32(s.SamplingRate)
+		u32(s.SamplingRate) // sample pool
+		u32(0)              // drops
+		u32(1)              // input if
+		u32(2)              // output if
+		u32(1)              // record count
+		u32(sflowRecordRawPkt)
+		u32(uint32(recBody))
+		u32(sflowHeaderEthernet)
+		u32(s.FrameLen)
+		u32(0) // stripped
+		u32(rawHeaderLen)
+		out = append(out, buildRawHeader(s.Key, s.FrameLen)...)
+	}
+	return out
+}
+
+// ErrBadSFlow reports a malformed datagram.
+var ErrBadSFlow = errors.New("netflow: malformed sFlow datagram")
+
+// DecodeSFlow parses a datagram produced by EncodeSFlow (or any v5
+// stream restricted to Ethernet raw-packet flow samples).
+func DecodeSFlow(data []byte) (*SFlowDatagram, error) {
+	rd := beReader{data: data}
+	if rd.u32() != SFlowVersion {
+		return nil, fmt.Errorf("%w: not version 5", ErrBadSFlow)
+	}
+	if rd.u32() != 1 {
+		return nil, fmt.Errorf("%w: non-IPv4 agent address", ErrBadSFlow)
+	}
+	d := &SFlowDatagram{
+		AgentIP:  rd.u32(),
+		SubAgent: rd.u32(),
+		Sequence: rd.u32(),
+		Uptime:   rd.u32(),
+	}
+	n := rd.u32()
+	if rd.err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadSFlow)
+	}
+	if n > uint32(len(data)) {
+		return nil, fmt.Errorf("%w: %d samples implausible", ErrBadSFlow, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		sampleType := rd.u32()
+		bodyLen := rd.u32()
+		if rd.err != nil {
+			return nil, fmt.Errorf("%w: truncated sample %d", ErrBadSFlow, i)
+		}
+		if sampleType != sflowSampleFlow {
+			// Skip unknown sample types (counter samples etc.).
+			rd.skip(int(bodyLen))
+			if rd.err != nil {
+				return nil, fmt.Errorf("%w: truncated skip", ErrBadSFlow)
+			}
+			continue
+		}
+		body := rd.bytes(int(bodyLen))
+		if rd.err != nil {
+			return nil, fmt.Errorf("%w: truncated sample body", ErrBadSFlow)
+		}
+		s, err := decodeFlowSample(body)
+		if err != nil {
+			return nil, err
+		}
+		d.Samples = append(d.Samples, s)
+	}
+	if rd.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSFlow, len(data)-rd.off)
+	}
+	return d, nil
+}
+
+func decodeFlowSample(body []byte) (SFlowSample, error) {
+	rd := beReader{data: body}
+	_ = rd.u32() // seq
+	_ = rd.u32() // source id
+	rate := rd.u32()
+	_ = rd.u32() // pool
+	_ = rd.u32() // drops
+	_ = rd.u32() // input
+	_ = rd.u32() // output
+	nrecs := rd.u32()
+	if rd.err != nil || nrecs != 1 {
+		return SFlowSample{}, fmt.Errorf("%w: bad flow sample", ErrBadSFlow)
+	}
+	if f := rd.u32(); f != sflowRecordRawPkt {
+		return SFlowSample{}, fmt.Errorf("%w: record format %d", ErrBadSFlow, f)
+	}
+	_ = rd.u32() // record length
+	if p := rd.u32(); p != sflowHeaderEthernet {
+		return SFlowSample{}, fmt.Errorf("%w: header protocol %d", ErrBadSFlow, p)
+	}
+	frameLen := rd.u32()
+	_ = rd.u32() // stripped
+	hdrLen := rd.u32()
+	if rd.err != nil || hdrLen != rawHeaderLen {
+		return SFlowSample{}, fmt.Errorf("%w: header length %d", ErrBadSFlow, hdrLen)
+	}
+	hdr := rd.bytes(int(hdrLen))
+	if rd.err != nil {
+		return SFlowSample{}, fmt.Errorf("%w: truncated raw header", ErrBadSFlow)
+	}
+	key, err := parseRawHeader(hdr)
+	if err != nil {
+		return SFlowSample{}, err
+	}
+	return SFlowSample{SamplingRate: rate, Key: key, FrameLen: frameLen}, nil
+}
+
+// SFlowToRecords estimates per-flow records from sampled packets: one
+// sample at rate N represents ~N packets and ~N*frameLen bytes.
+// Samples of the same key within the datagram aggregate.
+func SFlowToRecords(d *SFlowDatagram, routerID uint32, start, end uint32) []Record {
+	byKey := map[FlowKey]*Record{}
+	var order []FlowKey
+	for _, s := range d.Samples {
+		r, ok := byKey[s.Key]
+		if !ok {
+			r = &Record{Key: s.Key, RouterID: routerID, StartUnix: start, EndUnix: end}
+			byKey[s.Key] = r
+			order = append(order, s.Key)
+		}
+		rate := s.SamplingRate
+		if rate == 0 {
+			rate = 1
+		}
+		r.Packets += rate
+		r.Bytes += rate * s.FrameLen
+	}
+	out := make([]Record, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKey[k])
+	}
+	return out
+}
+
+// beReader is a bounds-checked big-endian cursor.
+type beReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *beReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.data) {
+		r.err = ErrBadSFlow
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *beReader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.data) {
+		r.err = ErrBadSFlow
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *beReader) skip(n int) {
+	if r.err != nil || n < 0 || r.off+n > len(r.data) {
+		r.err = ErrBadSFlow
+		return
+	}
+	r.off += n
+}

@@ -1,0 +1,149 @@
+package netflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func sfSample(i uint32) SFlowSample {
+	return SFlowSample{
+		SamplingRate: 100,
+		Key: FlowKey{
+			SrcIP: 0x0a000000 + i, DstIP: 0x08080808,
+			SrcPort: uint16(1024 + i), DstPort: 443, Proto: 6,
+		},
+		FrameLen: 600 + i,
+	}
+}
+
+func TestSFlowRoundTrip(t *testing.T) {
+	d := &SFlowDatagram{
+		AgentIP:  MustParseIPv4("192.168.1.1"),
+		SubAgent: 2,
+		Sequence: 77,
+		Uptime:   123456,
+	}
+	for i := uint32(0); i < 5; i++ {
+		d.Samples = append(d.Samples, sfSample(i))
+	}
+	dec, err := DecodeSFlow(EncodeSFlow(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.AgentIP != d.AgentIP || dec.Sequence != 77 || dec.Uptime != 123456 {
+		t.Fatalf("header lost: %+v", dec)
+	}
+	if len(dec.Samples) != 5 {
+		t.Fatalf("%d samples", len(dec.Samples))
+	}
+	for i := range d.Samples {
+		if dec.Samples[i] != d.Samples[i] {
+			t.Fatalf("sample %d: %+v != %+v", i, dec.Samples[i], d.Samples[i])
+		}
+	}
+}
+
+func TestSFlowEmptyDatagram(t *testing.T) {
+	d := &SFlowDatagram{AgentIP: 1}
+	dec, err := DecodeSFlow(EncodeSFlow(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Samples) != 0 {
+		t.Fatal("phantom samples")
+	}
+}
+
+func TestSFlowChecksumValidated(t *testing.T) {
+	d := &SFlowDatagram{Samples: []SFlowSample{sfSample(1)}}
+	enc := EncodeSFlow(d)
+	// Corrupt a source-IP byte inside the embedded IPv4 header: the
+	// checksum must catch it.
+	enc[len(enc)-rawHeaderLen+ethHeaderLen+13] ^= 0xff
+	if _, err := DecodeSFlow(enc); err == nil {
+		t.Fatal("corrupted IPv4 header accepted")
+	}
+}
+
+func TestSFlowRejectsWrongVersion(t *testing.T) {
+	enc := EncodeSFlow(&SFlowDatagram{})
+	enc[3] = 4
+	if _, err := DecodeSFlow(enc); err == nil {
+		t.Fatal("v4 accepted")
+	}
+}
+
+func TestSFlowRejectsTruncation(t *testing.T) {
+	enc := EncodeSFlow(&SFlowDatagram{Samples: []SFlowSample{sfSample(0)}})
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, err := DecodeSFlow(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d accepted", cut)
+		}
+	}
+}
+
+func TestSFlowFuzzNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := EncodeSFlow(&SFlowDatagram{Samples: []SFlowSample{sfSample(0), sfSample(1)}})
+	for i := 0; i < 3000; i++ {
+		mut := append([]byte(nil), base...)
+		for j := 0; j < 1+rng.Intn(6); j++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		_, _ = DecodeSFlow(mut) // must not panic
+	}
+}
+
+func TestSFlowToRecords(t *testing.T) {
+	d := &SFlowDatagram{}
+	// Two samples of the same flow, one of another.
+	a := sfSample(1)
+	d.Samples = []SFlowSample{a, a, sfSample(2)}
+	recs := SFlowToRecords(d, 3, 100, 105)
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].Packets != 200 { // 2 samples x rate 100
+		t.Fatalf("packets = %d", recs[0].Packets)
+	}
+	if recs[0].Bytes != 2*100*a.FrameLen {
+		t.Fatalf("bytes = %d", recs[0].Bytes)
+	}
+	if recs[0].RouterID != 3 || recs[0].StartUnix != 100 || recs[0].EndUnix != 105 {
+		t.Fatalf("metadata: %+v", recs[0])
+	}
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSFlowToRecordsZeroRate(t *testing.T) {
+	s := sfSample(1)
+	s.SamplingRate = 0 // degenerate exporter: treat as 1:1
+	recs := SFlowToRecords(&SFlowDatagram{Samples: []SFlowSample{s}}, 0, 0, 1)
+	if recs[0].Packets != 1 {
+		t.Fatalf("packets = %d", recs[0].Packets)
+	}
+}
+
+func TestRawHeaderChecksumSelfTest(t *testing.T) {
+	// ipv4Checksum must validate its own output for many keys.
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		key := FlowKey{
+			SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+			SrcPort: uint16(rng.Uint32()), DstPort: uint16(rng.Uint32()),
+			Proto: uint8(rng.Uint32()),
+		}
+		hdr := buildRawHeader(key, uint32(rng.Intn(1500)))
+		got, err := parseRawHeader(hdr)
+		if err != nil {
+			t.Fatalf("own header rejected: %v", err)
+		}
+		if got != key {
+			t.Fatalf("key round trip: %+v != %+v", got, key)
+		}
+	}
+}

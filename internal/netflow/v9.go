@@ -1,0 +1,210 @@
+package netflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file implements a simplified NetFlow v9 export encoding
+// (RFC 3954 flavour): an export packet carries a header, an optional
+// template flowset describing field layout, and data flowsets whose
+// records follow the template. Only the single template needed for
+// zkflow's Record is supported, but the framing (flowset IDs, lengths,
+// padding) follows the specification so standard tooling recognises
+// the stream shape.
+
+// V9Version is the NetFlow export version.
+const V9Version = 9
+
+// TemplateID identifies zkflow's record template (must be >= 256).
+const TemplateID = 300
+
+// V9 field type numbers (subset of the standard registry, plus
+// enterprise-range types for the zkflow-specific counters).
+const (
+	fieldIPv4Src  = 8
+	fieldIPv4Dst  = 12
+	fieldL4Src    = 7
+	fieldL4Dst    = 11
+	fieldProto    = 4
+	fieldPackets  = 2
+	fieldBytes    = 1
+	fieldDropped  = 133 // DROPPED_PACKETS_TOTAL
+	fieldHopCount = 1001
+	fieldRTT      = 1002
+	fieldJitter   = 1003
+	fieldStart    = 22 // FIRST_SWITCHED
+	fieldEnd      = 21 // LAST_SWITCHED
+)
+
+// templateFields lists (type, length) pairs in record order.
+var templateFields = [][2]uint16{
+	{fieldIPv4Src, 4}, {fieldIPv4Dst, 4},
+	{fieldL4Src, 2}, {fieldL4Dst, 2}, {fieldProto, 1},
+	{fieldPackets, 4}, {fieldBytes, 4}, {fieldDropped, 4},
+	{fieldHopCount, 4}, {fieldRTT, 4}, {fieldJitter, 4},
+	{fieldStart, 4}, {fieldEnd, 4},
+}
+
+// v9RecordLen is the per-record payload length under the template.
+const v9RecordLen = 4 + 4 + 2 + 2 + 1 + 4*8
+
+// ExportPacket is a decoded v9 export packet.
+type ExportPacket struct {
+	SysUptime uint32
+	UnixSecs  uint32
+	Sequence  uint32
+	SourceID  uint32 // the exporting router
+	Records   []Record
+}
+
+// EncodeV9 serialises records as a v9 export packet containing the
+// template flowset followed by one data flowset.
+func EncodeV9(p *ExportPacket) []byte {
+	var out []byte
+	u16 := func(v uint16) { out = binary.BigEndian.AppendUint16(out, v) }
+	u32 := func(v uint32) { out = binary.BigEndian.AppendUint32(out, v) }
+	u8 := func(v uint8) { out = append(out, v) }
+
+	// Header: version, count (flowset records), uptime, secs, seq, source.
+	u16(V9Version)
+	u16(uint16(1 + len(p.Records))) // template counts as one record
+	u32(p.SysUptime)
+	u32(p.UnixSecs)
+	u32(p.Sequence)
+	u32(p.SourceID)
+
+	// Template flowset (ID 0).
+	u16(0)
+	u16(uint16(8 + 4*len(templateFields))) // flowset length
+	u16(TemplateID)
+	u16(uint16(len(templateFields)))
+	for _, f := range templateFields {
+		u16(f[0])
+		u16(f[1])
+	}
+
+	// Data flowset.
+	dataLen := 4 + v9RecordLen*len(p.Records)
+	pad := (4 - dataLen%4) % 4
+	u16(TemplateID)
+	u16(uint16(dataLen + pad))
+	for i := range p.Records {
+		r := &p.Records[i]
+		u32(r.Key.SrcIP)
+		u32(r.Key.DstIP)
+		u16(r.Key.SrcPort)
+		u16(r.Key.DstPort)
+		u8(r.Key.Proto)
+		u32(r.Packets)
+		u32(r.Bytes)
+		u32(r.Dropped)
+		u32(r.HopCount)
+		u32(r.RTTMicros)
+		u32(r.JitterMicros)
+		u32(r.StartUnix)
+		u32(r.EndUnix)
+	}
+	for i := 0; i < pad; i++ {
+		u8(0)
+	}
+	return out
+}
+
+// Errors returned by DecodeV9.
+var (
+	ErrBadVersion  = errors.New("netflow: not a v9 packet")
+	ErrBadTemplate = errors.New("netflow: unknown or malformed template")
+)
+
+// DecodeV9 parses an export packet produced by EncodeV9 (or any v9
+// stream using zkflow's template). Records inherit the packet's
+// SourceID as their RouterID.
+func DecodeV9(data []byte) (*ExportPacket, error) {
+	if len(data) < 20 {
+		return nil, fmt.Errorf("netflow: packet of %d bytes too short", len(data))
+	}
+	if binary.BigEndian.Uint16(data) != V9Version {
+		return nil, ErrBadVersion
+	}
+	p := &ExportPacket{
+		SysUptime: binary.BigEndian.Uint32(data[4:]),
+		UnixSecs:  binary.BigEndian.Uint32(data[8:]),
+		Sequence:  binary.BigEndian.Uint32(data[12:]),
+		SourceID:  binary.BigEndian.Uint32(data[16:]),
+	}
+	off := 20
+	templateSeen := false
+	for off+4 <= len(data) {
+		id := binary.BigEndian.Uint16(data[off:])
+		length := int(binary.BigEndian.Uint16(data[off+2:]))
+		if length < 4 || off+length > len(data) {
+			return nil, fmt.Errorf("netflow: flowset at %d has bad length %d", off, length)
+		}
+		body := data[off+4 : off+length]
+		switch {
+		case id == 0:
+			if err := checkTemplate(body); err != nil {
+				return nil, err
+			}
+			templateSeen = true
+		case id == TemplateID:
+			if !templateSeen {
+				return nil, fmt.Errorf("%w: data before template", ErrBadTemplate)
+			}
+			for len(body) >= v9RecordLen {
+				r := decodeV9Record(body)
+				r.RouterID = p.SourceID
+				p.Records = append(p.Records, r)
+				body = body[v9RecordLen:]
+			}
+		default:
+			return nil, fmt.Errorf("%w: flowset id %d", ErrBadTemplate, id)
+		}
+		off += length
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("netflow: %d trailing bytes", len(data)-off)
+	}
+	return p, nil
+}
+
+func checkTemplate(body []byte) error {
+	if len(body) < 4 {
+		return ErrBadTemplate
+	}
+	if binary.BigEndian.Uint16(body) != TemplateID {
+		return fmt.Errorf("%w: template id %d", ErrBadTemplate, binary.BigEndian.Uint16(body))
+	}
+	n := int(binary.BigEndian.Uint16(body[2:]))
+	if n != len(templateFields) || len(body) < 4+4*n {
+		return fmt.Errorf("%w: %d fields", ErrBadTemplate, n)
+	}
+	for i, f := range templateFields {
+		ft := binary.BigEndian.Uint16(body[4+4*i:])
+		fl := binary.BigEndian.Uint16(body[6+4*i:])
+		if ft != f[0] || fl != f[1] {
+			return fmt.Errorf("%w: field %d is (%d,%d), want (%d,%d)", ErrBadTemplate, i, ft, fl, f[0], f[1])
+		}
+	}
+	return nil
+}
+
+func decodeV9Record(b []byte) Record {
+	var r Record
+	r.Key.SrcIP = binary.BigEndian.Uint32(b[0:])
+	r.Key.DstIP = binary.BigEndian.Uint32(b[4:])
+	r.Key.SrcPort = binary.BigEndian.Uint16(b[8:])
+	r.Key.DstPort = binary.BigEndian.Uint16(b[10:])
+	r.Key.Proto = b[12]
+	r.Packets = binary.BigEndian.Uint32(b[13:])
+	r.Bytes = binary.BigEndian.Uint32(b[17:])
+	r.Dropped = binary.BigEndian.Uint32(b[21:])
+	r.HopCount = binary.BigEndian.Uint32(b[25:])
+	r.RTTMicros = binary.BigEndian.Uint32(b[29:])
+	r.JitterMicros = binary.BigEndian.Uint32(b[33:])
+	r.StartUnix = binary.BigEndian.Uint32(b[37:])
+	r.EndUnix = binary.BigEndian.Uint32(b[41:])
+	return r
+}

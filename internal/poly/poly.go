@@ -1,0 +1,239 @@
+// Package poly provides polynomial arithmetic over the Goldilocks field:
+// in-place radix-2 number-theoretic transforms, interpolation, coset
+// low-degree extension, and pointwise helpers. These are the building
+// blocks of the FRI commitment scheme and the STARK prover.
+package poly
+
+import (
+	"fmt"
+	"math/bits"
+
+	"zkflow/internal/field"
+)
+
+// Poly is a polynomial in coefficient form, index i holding the
+// coefficient of x^i. The zero value is the zero polynomial.
+type Poly []field.Elem
+
+// Degree returns the degree of p, with -1 for the zero polynomial.
+func (p Poly) Degree() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Eval evaluates p at x via Horner's rule.
+func (p Poly) Eval(x field.Elem) field.Elem {
+	var acc field.Elem
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = field.Add(field.Mul(acc, x), p[i])
+	}
+	return acc
+}
+
+// Add returns p + q.
+func Add(p, q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	out := make(Poly, n)
+	for i := range out {
+		var a, b field.Elem
+		if i < len(p) {
+			a = p[i]
+		}
+		if i < len(q) {
+			b = q[i]
+		}
+		out[i] = field.Add(a, b)
+	}
+	return out
+}
+
+// MulScalar returns c * p.
+func MulScalar(p Poly, c field.Elem) Poly {
+	out := make(Poly, len(p))
+	for i, v := range p {
+		out[i] = field.Mul(v, c)
+	}
+	return out
+}
+
+// MulNaive returns p * q by schoolbook multiplication. Intended for
+// small polynomials (constraint composition); use NTT-based convolution
+// for anything large.
+func MulNaive(p, q Poly) Poly {
+	if len(p) == 0 || len(q) == 0 {
+		return nil
+	}
+	out := make(Poly, len(p)+len(q)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			out[i+j] = field.Add(out[i+j], field.Mul(a, b))
+		}
+	}
+	return out
+}
+
+// bitReverse permutes xs in place by bit-reversed index.
+func bitReverse(xs []field.Elem) {
+	n := len(xs)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := range xs {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+	}
+}
+
+// NTT transforms coefficients to evaluations over the size-len(xs)
+// multiplicative subgroup, in place. len(xs) must be a power of two.
+func NTT(xs []field.Elem) {
+	ntt(xs, false)
+}
+
+// INTT transforms evaluations back to coefficients, in place.
+func INTT(xs []field.Elem) {
+	ntt(xs, true)
+}
+
+func ntt(xs []field.Elem, inverse bool) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("poly: NTT size %d is not a power of two", n))
+	}
+	logN := bits.TrailingZeros(uint(n))
+	root := field.RootOfUnity(logN)
+	if inverse {
+		root = field.Inv(root)
+	}
+	bitReverse(xs)
+	for s := 1; s <= logN; s++ {
+		m := 1 << s
+		wm := field.Exp(root, uint64(n/m))
+		for k := 0; k < n; k += m {
+			w := field.One
+			for j := 0; j < m/2; j++ {
+				t := field.Mul(w, xs[k+j+m/2])
+				u := xs[k+j]
+				xs[k+j] = field.Add(u, t)
+				xs[k+j+m/2] = field.Sub(u, t)
+				w = field.Mul(w, wm)
+			}
+		}
+	}
+	if inverse {
+		nInv := field.Inv(field.New(uint64(n)))
+		for i := range xs {
+			xs[i] = field.Mul(xs[i], nInv)
+		}
+	}
+}
+
+// EvalDomain evaluates p over the subgroup of the given power-of-two
+// size (zero-padding coefficients), returning a fresh slice.
+func EvalDomain(p Poly, size int) []field.Elem {
+	if size < len(p) {
+		panic("poly: domain smaller than polynomial")
+	}
+	out := make([]field.Elem, size)
+	copy(out, p)
+	NTT(out)
+	return out
+}
+
+// Interpolate recovers the coefficients of the unique polynomial of
+// degree < len(evals) agreeing with evals over the subgroup of that size.
+func Interpolate(evals []field.Elem) Poly {
+	out := make(Poly, len(evals))
+	copy(out, evals)
+	INTT(out)
+	return out
+}
+
+// CosetEval evaluates p over the coset shift * <w> of the given
+// power-of-two size: output[i] = p(shift * w^i).
+func CosetEval(p Poly, shift field.Elem, size int) []field.Elem {
+	if size < len(p) {
+		panic("poly: coset domain smaller than polynomial")
+	}
+	scaled := make([]field.Elem, size)
+	pow := field.One
+	for i := 0; i < size; i++ {
+		if i < len(p) {
+			scaled[i] = field.Mul(p[i], pow)
+		}
+		pow = field.Mul(pow, shift)
+	}
+	NTT(scaled)
+	return scaled
+}
+
+// CosetInterpolate inverts CosetEval: it recovers coefficients of the
+// polynomial whose evaluations over shift * <w> are evals.
+func CosetInterpolate(evals []field.Elem, shift field.Elem) Poly {
+	p := Interpolate(evals)
+	shiftInv := field.Inv(shift)
+	pow := field.One
+	for i := range p {
+		p[i] = field.Mul(p[i], pow)
+		pow = field.Mul(pow, shiftInv)
+	}
+	return p
+}
+
+// ZerofierEval returns Z(x) = x^n - 1 evaluated at x, the vanishing
+// polynomial of the size-n subgroup.
+func ZerofierEval(n uint64, x field.Elem) field.Elem {
+	return field.Sub(field.Exp(x, n), field.One)
+}
+
+// LagrangeInterpolate returns the unique polynomial of degree < len(xs)
+// passing through the points (xs[i], ys[i]). The xs must be distinct.
+// O(n^2); intended for small point sets (FRI consistency checks, DEEP).
+func LagrangeInterpolate(xs, ys []field.Elem) Poly {
+	if len(xs) != len(ys) {
+		panic("poly: mismatched point slices")
+	}
+	n := len(xs)
+	result := make(Poly, n)
+	basis := make(Poly, 0, n)
+	for i := 0; i < n; i++ {
+		// numerator = prod_{j != i} (x - xs[j])
+		basis = append(basis[:0], field.One)
+		denom := field.One
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			basis = mulLinear(basis, field.Neg(xs[j]))
+			denom = field.Mul(denom, field.Sub(xs[i], xs[j]))
+		}
+		scale := field.Mul(ys[i], field.Inv(denom))
+		for k, c := range basis {
+			result[k] = field.Add(result[k], field.Mul(c, scale))
+		}
+	}
+	return result
+}
+
+// mulLinear multiplies p by (x + c) in place, returning the grown slice.
+func mulLinear(p Poly, c field.Elem) Poly {
+	p = append(p, 0)
+	for i := len(p) - 1; i >= 1; i-- {
+		p[i] = field.Add(field.Mul(p[i], c), p[i-1])
+	}
+	p[0] = field.Mul(p[0], c)
+	return p
+}

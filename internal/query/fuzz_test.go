@@ -1,0 +1,52 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseNeverPanicsOnGarbage throws random byte soup and mutated
+// valid queries at the parser.
+func TestParseNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphabet := `SELECTFROMWHEREANDORNTIBcount(*)<>=!"';_0123456789. ,`
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(80)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		_, _ = Parse(b.String()) // must not panic
+	}
+}
+
+func TestParseNeverPanicsOnMutatedValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := `SELECT SUM(hop_count) FROM clogs WHERE src_ip = "1.1.1.1" AND (packets BETWEEN 1 AND 100 OR proto IN (6, 17));`
+	for trial := 0; trial < 5000; trial++ {
+		mut := []byte(base)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			mut[rng.Intn(len(mut))] = byte(32 + rng.Intn(95))
+		}
+		q, err := Parse(string(mut))
+		if err != nil {
+			continue
+		}
+		// Anything that parses must also evaluate and re-parse from
+		// its canonical form.
+		entry := make([]uint32, 13)
+		_ = q.Where != nil && q.Where.Eval(entry)
+		if _, err := Parse(q.String()); err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", q.String(), err)
+		}
+	}
+}
+
+func TestParseDeepNestingBounded(t *testing.T) {
+	// Deep parenthesisation must not blow the stack: the recursive
+	// descent is bounded by input length, and depth validation caps
+	// the accepted shapes.
+	deep := "SELECT COUNT(*) FROM clogs WHERE " + strings.Repeat("(", 10000) + "proto = 6" + strings.Repeat(")", 10000)
+	_, _ = Parse(deep) // must not panic (error or accept both fine)
+}

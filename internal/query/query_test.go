@@ -1,0 +1,218 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"zkflow/internal/clog"
+	"zkflow/internal/netflow"
+)
+
+func entryWords(src, dst uint32, sport, dport uint16, proto uint8, counters ...uint32) []uint32 {
+	e := clog.Entry{Key: netflow.FlowKey{SrcIP: src, DstIP: dst, SrcPort: sport, DstPort: dport, Proto: proto}}
+	w := e.Words()
+	for i, c := range counters {
+		w[4+i] = c
+	}
+	return w[:]
+}
+
+func TestParsePaperQuery(t *testing.T) {
+	q, err := Parse(`SELECT SUM(hop_count) FROM clogs WHERE src_ip = "1.1.1.1" AND dst_ip = "9.9.9.9";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agg != AggSum || q.Field.Name != "hop_count" {
+		t.Fatalf("agg parsed wrong: %+v", q)
+	}
+	and, ok := q.Where.(*And)
+	if !ok {
+		t.Fatalf("where is %T", q.Where)
+	}
+	l := and.L.(*Cmp)
+	if l.Field.Name != "src_ip" || l.Value != 0x01010101 {
+		t.Fatalf("lhs: %+v", l)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("select count(*) from clogs where packets > 5"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseAllAggregates(t *testing.T) {
+	for _, src := range []string{
+		"SELECT COUNT(*) FROM clogs",
+		"SELECT SUM(bytes) FROM clogs",
+		"SELECT AVG(rtt_sum) FROM clogs",
+		"SELECT MIN(rtt_max) FROM clogs",
+		"SELECT MAX(jitter_max) FROM clogs",
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("%s: %v", src, err)
+		}
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	for _, op := range []string{"=", "!=", "<", "<=", ">", ">=", "<>"} {
+		if _, err := Parse("SELECT COUNT(*) FROM clogs WHERE packets " + op + " 7"); err != nil {
+			t.Errorf("op %s: %v", op, err)
+		}
+	}
+}
+
+func TestParseBooleanPrecedence(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM clogs WHERE proto = 6 OR proto = 17 AND packets > 10")
+	// AND binds tighter: proto=6 OR (proto=17 AND packets>10)
+	or, ok := q.Where.(*Or)
+	if !ok {
+		t.Fatalf("top is %T", q.Where)
+	}
+	if _, ok := or.R.(*And); !ok {
+		t.Fatalf("rhs is %T, want And", or.R)
+	}
+}
+
+func TestParseParensAndNot(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM clogs WHERE NOT (proto = 6 OR proto = 17)")
+	n, ok := q.Where.(*Not)
+	if !ok {
+		t.Fatalf("top is %T", q.Where)
+	}
+	if _, ok := n.E.(*Or); !ok {
+		t.Fatalf("inner is %T", n.E)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FOO(*) FROM clogs",
+		"SELECT COUNT(x) FROM clogs",
+		"SELECT SUM(src_ip) FROM clogs",            // IP aggregate
+		"SELECT SUM(nonsense) FROM clogs",          // unknown field
+		"SELECT COUNT(*) FROM flows",               // unknown table
+		"SELECT COUNT(*) FROM clogs WHERE",         // dangling where
+		"SELECT COUNT(*) FROM clogs WHERE x = 1",   // unknown field
+		"SELECT COUNT(*) FROM clogs WHERE packets", // no operator
+		`SELECT COUNT(*) FROM clogs WHERE packets = "str"`,
+		`SELECT COUNT(*) FROM clogs WHERE src_ip = 5`,       // unquoted IP
+		`SELECT COUNT(*) FROM clogs WHERE src_ip = "bogus"`, // bad IP
+		"SELECT COUNT(*) FROM clogs WHERE (packets = 1",     // unclosed paren
+		"SELECT COUNT(*) FROM clogs extra",                  // trailing
+		`SELECT COUNT(*) FROM clogs WHERE packets ! 1`,
+		`SELECT COUNT(*) FROM clogs WHERE packets = 99999999999`, // overflow
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseDepthLimit(t *testing.T) {
+	src := "SELECT COUNT(*) FROM clogs WHERE " + strings.Repeat("NOT ", MaxDepth+2) + "proto = 6"
+	if _, err := Parse(src); err == nil {
+		t.Fatal("unbounded depth accepted")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`SELECT SUM(hop_count) FROM clogs WHERE src_ip = "1.1.1.1" AND dst_ip = "9.9.9.9";`,
+		"SELECT COUNT(*) FROM clogs;",
+		"SELECT MIN(rtt_max) FROM clogs WHERE (proto = 6 OR proto = 17) AND packets >= 100;",
+	}
+	for _, src := range srcs {
+		q1 := MustParse(src)
+		q2 := MustParse(q1.String())
+		if q1.String() != q2.String() {
+			t.Errorf("canonical form unstable:\n%s\n%s", q1, q2)
+		}
+	}
+}
+
+func TestEvalCount(t *testing.T) {
+	entries := [][]uint32{
+		entryWords(1, 2, 80, 443, 6, 100),
+		entryWords(1, 3, 80, 443, 17, 50),
+		entryWords(2, 2, 81, 443, 6, 10),
+	}
+	q := MustParse("SELECT COUNT(*) FROM clogs WHERE proto = 6")
+	matched, _ := q.Eval(entries)
+	if matched != 2 {
+		t.Fatalf("matched %d", matched)
+	}
+}
+
+func TestEvalSumOverflow(t *testing.T) {
+	entries := [][]uint32{
+		entryWords(1, 2, 80, 443, 6, 0xffffffff),
+		entryWords(1, 3, 80, 443, 6, 0xffffffff),
+	}
+	q := MustParse("SELECT SUM(packets) FROM clogs")
+	_, sum := q.Eval(entries)
+	if sum != 2*uint64(0xffffffff) {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestEvalMinMaxEmpty(t *testing.T) {
+	qmin := MustParse("SELECT MIN(packets) FROM clogs WHERE proto = 99")
+	qmax := MustParse("SELECT MAX(packets) FROM clogs WHERE proto = 99")
+	entries := [][]uint32{entryWords(1, 2, 80, 443, 6, 7)}
+	if m, v := qmin.Eval(entries); m != 0 || v != 0xffffffff {
+		t.Fatalf("min empty: %d %d", m, v)
+	}
+	if m, v := qmax.Eval(entries); m != 0 || v != 0 {
+		t.Fatalf("max empty: %d %d", m, v)
+	}
+}
+
+func TestEvalPortExtraction(t *testing.T) {
+	entries := [][]uint32{
+		entryWords(1, 2, 1234, 443, 6, 1),
+		entryWords(1, 2, 80, 8080, 6, 1),
+	}
+	q := MustParse("SELECT COUNT(*) FROM clogs WHERE src_port = 1234")
+	if m, _ := q.Eval(entries); m != 1 {
+		t.Fatalf("src_port match %d", m)
+	}
+	q = MustParse("SELECT COUNT(*) FROM clogs WHERE dst_port = 8080")
+	if m, _ := q.Eval(entries); m != 1 {
+		t.Fatalf("dst_port match %d", m)
+	}
+}
+
+func TestEvalNotOrSemantics(t *testing.T) {
+	entries := [][]uint32{
+		entryWords(1, 2, 80, 443, 6, 1),
+		entryWords(1, 2, 80, 443, 17, 1),
+		entryWords(1, 2, 80, 443, 1, 1),
+	}
+	q := MustParse("SELECT COUNT(*) FROM clogs WHERE NOT (proto = 6 OR proto = 17)")
+	if m, _ := q.Eval(entries); m != 1 {
+		t.Fatalf("matched %d", m)
+	}
+}
+
+func TestEvalHexLiteral(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM clogs WHERE bytes >= 0x100")
+	entries := [][]uint32{entryWords(1, 2, 80, 443, 6, 1, 0x100)}
+	if m, _ := q.Eval(entries); m != 1 {
+		t.Fatalf("hex literal broken: %d", m)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM clogs WHERE NOT (proto = 6 AND packets > 1)")
+	if q.Depth() != 3 {
+		t.Fatalf("depth %d", q.Depth())
+	}
+	if MustParse("SELECT COUNT(*) FROM clogs").Depth() != 0 {
+		t.Fatal("empty where should have depth 0")
+	}
+}

@@ -1,0 +1,94 @@
+package query
+
+import "testing"
+
+func TestInDesugarsToOr(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM clogs WHERE proto IN (6, 17, 1)")
+	// (proto=6 OR proto=17) OR proto=1
+	or, ok := q.Where.(*Or)
+	if !ok {
+		t.Fatalf("top is %T", q.Where)
+	}
+	inner, ok := or.L.(*Or)
+	if !ok {
+		t.Fatalf("left is %T", or.L)
+	}
+	if inner.L.(*Cmp).Value != 6 || inner.R.(*Cmp).Value != 17 || or.R.(*Cmp).Value != 1 {
+		t.Fatalf("values wrong: %s", q.Where)
+	}
+}
+
+func TestInSingleValue(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM clogs WHERE proto IN (6)")
+	c, ok := q.Where.(*Cmp)
+	if !ok || c.Value != 6 || c.Op != OpEq {
+		t.Fatalf("got %s", q.Where)
+	}
+}
+
+func TestInWithIPs(t *testing.T) {
+	q := MustParse(`SELECT COUNT(*) FROM clogs WHERE dst_ip IN ("9.9.9.9", "8.8.8.8")`)
+	or := q.Where.(*Or)
+	if or.L.(*Cmp).Value != 0x09090909 || or.R.(*Cmp).Value != 0x08080808 {
+		t.Fatalf("ip values wrong: %s", q.Where)
+	}
+}
+
+func TestBetweenDesugarsToAnd(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM clogs WHERE rtt_max BETWEEN 1000 AND 5000")
+	and, ok := q.Where.(*And)
+	if !ok {
+		t.Fatalf("top is %T", q.Where)
+	}
+	lo, hi := and.L.(*Cmp), and.R.(*Cmp)
+	if lo.Op != OpGe || lo.Value != 1000 || hi.Op != OpLe || hi.Value != 5000 {
+		t.Fatalf("bounds wrong: %s", q.Where)
+	}
+}
+
+func TestBetweenInclusive(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM clogs WHERE packets BETWEEN 10 AND 20")
+	mk := func(p uint32) []uint32 {
+		w := make([]uint32, 13)
+		w[4] = p
+		return w
+	}
+	for _, tc := range []struct {
+		p    uint32
+		want bool
+	}{{9, false}, {10, true}, {20, true}, {21, false}} {
+		if got := q.Where.Eval(mk(tc.p)); got != tc.want {
+			t.Errorf("packets=%d: got %v", tc.p, got)
+		}
+	}
+}
+
+func TestBetweenComposesWithAnd(t *testing.T) {
+	q := MustParse("SELECT COUNT(*) FROM clogs WHERE packets BETWEEN 1 AND 10 AND proto = 6")
+	// BETWEEN consumes its own AND; the trailing AND must still parse.
+	top, ok := q.Where.(*And)
+	if !ok {
+		t.Fatalf("top is %T: %s", q.Where, q.Where)
+	}
+	if top.R.(*Cmp).Field.Name != "proto" {
+		t.Fatalf("composition wrong: %s", q.Where)
+	}
+}
+
+func TestSugarErrors(t *testing.T) {
+	bad := []string{
+		"SELECT COUNT(*) FROM clogs WHERE proto IN ()",
+		"SELECT COUNT(*) FROM clogs WHERE proto IN (6 7)",
+		"SELECT COUNT(*) FROM clogs WHERE proto IN (6,",
+		"SELECT COUNT(*) FROM clogs WHERE proto IN 6",
+		"SELECT COUNT(*) FROM clogs WHERE packets BETWEEN 10",
+		"SELECT COUNT(*) FROM clogs WHERE packets BETWEEN 20 AND 10",
+		`SELECT COUNT(*) FROM clogs WHERE proto IN ("1.1.1.1")`,
+		`SELECT COUNT(*) FROM clogs WHERE src_ip BETWEEN 1 AND 2`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package remote implements off-path proof generation (paper §2.2 and
+// §7: routers and collectors are resource-constrained, so "proof
+// generation [is] performed on an off-path compute environment,
+// decoupled from the data collection process"). A Worker is a
+// stateless HTTP service that executes a guest program over private
+// inputs and returns the receipt; the Client side plugs into
+// core.Options as a drop-in ProveFunc.
+//
+// Trust model: the worker is the operator's own compute node — it
+// sees private inputs (like the paper's off-path prover) but cannot
+// forge results, because the operator re-checks the returned
+// receipt's seal and the eventual verifiers check it again.
+package remote
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+
+	"zkflow/internal/zkvm"
+)
+
+// reqMagic versions the request framing.
+const reqMagic = 0x7a6b7277 // "zkrw"
+
+// maxRequest bounds a request body (program + inputs).
+const maxRequest = 512 << 20
+
+// EncodeRequest frames a proving request.
+func EncodeRequest(prog *zkvm.Program, input []uint32, opts zkvm.ProveOptions) []byte {
+	progBytes := prog.Encode()
+	out := make([]byte, 0, 20+len(progBytes)+4*len(input))
+	out = binary.LittleEndian.AppendUint32(out, reqMagic)
+	out = binary.LittleEndian.AppendUint32(out, uint32(opts.Checks))
+	out = binary.LittleEndian.AppendUint32(out, uint32(opts.Segments))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(progBytes)))
+	out = append(out, progBytes...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(input)))
+	for _, w := range input {
+		out = binary.LittleEndian.AppendUint32(out, w)
+	}
+	return out
+}
+
+// ErrBadRequest reports an unparseable proving request.
+var ErrBadRequest = errors.New("remote: malformed proving request")
+
+// DecodeRequest inverts EncodeRequest.
+func DecodeRequest(data []byte) (*zkvm.Program, []uint32, zkvm.ProveOptions, error) {
+	var opts zkvm.ProveOptions
+	if len(data) < 20 || binary.LittleEndian.Uint32(data) != reqMagic {
+		return nil, nil, opts, ErrBadRequest
+	}
+	opts.Checks = int(binary.LittleEndian.Uint32(data[4:]))
+	opts.Segments = int(binary.LittleEndian.Uint32(data[8:]))
+	progLen := binary.LittleEndian.Uint32(data[12:])
+	off := 16
+	if uint32(len(data)-off) < progLen {
+		return nil, nil, opts, ErrBadRequest
+	}
+	prog, err := zkvm.DecodeProgram(data[off : off+int(progLen)])
+	if err != nil {
+		return nil, nil, opts, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	off += int(progLen)
+	if len(data)-off < 4 {
+		return nil, nil, opts, ErrBadRequest
+	}
+	nIn := binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	if uint32(len(data)-off) != 4*nIn {
+		return nil, nil, opts, ErrBadRequest
+	}
+	input := make([]uint32, nIn)
+	for i := range input {
+		input[i] = binary.LittleEndian.Uint32(data[off+4*i:])
+	}
+	return prog, input, opts, nil
+}
+
+// WorkerHandler returns the HTTP handler of a proving worker:
+// POST /prove with an EncodeRequest body returns the binary receipt,
+// 422 with the error text when the guest aborts or traps (tampered
+// inputs must surface as proving failures, not fake receipts).
+func WorkerHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/prove", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequest))
+		if err != nil {
+			http.Error(w, "request too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		prog, input, opts, err := DecodeRequest(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		receipt, err := zkvm.Prove(prog, input, opts)
+		if err != nil {
+			// Guest aborts and traps are semantic failures the caller
+			// must see verbatim.
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		bin, err := receipt.MarshalBinary()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(bin)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Client dispatches proving jobs to a worker.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient creates a worker client (httpClient nil = default).
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// ErrRemote wraps worker-side failures.
+var ErrRemote = errors.New("remote: proving failed")
+
+// Prove sends the job to the worker and validates the returned
+// receipt locally (image ID and seal) before handing it back, so a
+// buggy or compromised worker cannot slip an invalid receipt into the
+// aggregation chain.
+func (c *Client) Prove(prog *zkvm.Program, input []uint32, opts zkvm.ProveOptions) (*zkvm.Receipt, error) {
+	resp, err := c.http.Post(c.base+"/prove", "application/octet-stream",
+		bytes.NewReader(EncodeRequest(prog, input, opts)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxRequest))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: %s: %s", ErrRemote, resp.Status, bytes.TrimSpace(body))
+	}
+	receipt, err := zkvm.UnmarshalReceipt(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	if receipt.ImageID != prog.ID() {
+		return nil, fmt.Errorf("%w: worker returned a receipt for image %v", ErrRemote, receipt.ImageID)
+	}
+	if err := zkvm.Verify(prog, receipt, zkvm.VerifyOptions{AllowNonZeroExit: true}); err != nil {
+		return nil, fmt.Errorf("%w: worker receipt invalid: %v", ErrRemote, err)
+	}
+	if receipt.ExitCode != 0 && !opts.AllowNonZeroExit {
+		return nil, &zkvm.GuestAbortError{ExitCode: receipt.ExitCode, Journal: receipt.Journal}
+	}
+	return receipt, nil
+}
+
+// Serve runs a worker until the listener fails.
+func Serve(addr string) error {
+	log.Printf("zkflow-worker listening on http://%s", addr)
+	srv := &http.Server{Addr: addr, Handler: WorkerHandler()}
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,146 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"zkflow/internal/core"
+	"zkflow/internal/ledger"
+	"zkflow/internal/netflow"
+	"zkflow/internal/router"
+	"zkflow/internal/store"
+	"zkflow/internal/trafficgen"
+	"zkflow/internal/zkvm"
+)
+
+func worker(t *testing.T) *Client {
+	t.Helper()
+	ts := httptest.NewServer(WorkerHandler())
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, ts.Client())
+}
+
+// simpleProgram journals the sum of two input words.
+func simpleProgram() *zkvm.Program {
+	a := zkvm.NewAssembler()
+	a.ReadInput(zkvm.R2)
+	a.ReadInput(zkvm.R3)
+	a.Add(zkvm.R4, zkvm.R2, zkvm.R3)
+	a.WriteJournal(zkvm.R4)
+	a.HaltCode(0)
+	return a.MustAssemble()
+}
+
+func TestRemoteProveRoundTrip(t *testing.T) {
+	c := worker(t)
+	prog := simpleProgram()
+	receipt, err := c.Prove(prog, []uint32{20, 22}, zkvm.ProveOptions{Checks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zkvm.Verify(prog, receipt, zkvm.VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if receipt.Journal[0] != 42 {
+		t.Fatalf("journal %v", receipt.Journal)
+	}
+}
+
+func TestRemoteGuestAbortSurfaces(t *testing.T) {
+	c := worker(t)
+	a := zkvm.NewAssembler()
+	a.HaltCode(3)
+	_, err := c.Prove(a.MustAssemble(), nil, zkvm.ProveOptions{Checks: 4})
+	if err == nil {
+		t.Fatal("aborted guest produced a receipt")
+	}
+}
+
+func TestRemoteTrapSurfaces(t *testing.T) {
+	c := worker(t)
+	a := zkvm.NewAssembler()
+	a.ReadInput(zkvm.R2) // no input: traps
+	a.HaltCode(0)
+	if _, err := c.Prove(a.MustAssemble(), nil, zkvm.ProveOptions{Checks: 4}); !errors.Is(err, ErrRemote) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	prog := simpleProgram()
+	input := []uint32{1, 2, 3}
+	opts := zkvm.ProveOptions{Checks: 9, Segments: 2}
+	p2, in2, o2, err := DecodeRequest(EncodeRequest(prog, input, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.ID() != prog.ID() {
+		t.Fatal("program lost")
+	}
+	if len(in2) != 3 || in2[2] != 3 {
+		t.Fatal("input lost")
+	}
+	if o2.Checks != 9 || o2.Segments != 2 {
+		t.Fatal("options lost")
+	}
+}
+
+func TestDecodeRequestRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, []byte("tiny"), make([]byte, 40)} {
+		if _, _, _, err := DecodeRequest(data); err == nil {
+			t.Fatalf("accepted %d bytes of garbage", len(data))
+		}
+	}
+	good := EncodeRequest(simpleProgram(), []uint32{1}, zkvm.ProveOptions{})
+	if _, _, _, err := DecodeRequest(good[:len(good)-2]); err == nil {
+		t.Fatal("truncated request accepted")
+	}
+}
+
+func TestOffPathAggregationPipeline(t *testing.T) {
+	// The full §7 scenario: the operator's prover dispatches all
+	// proving to an off-path worker; the auditor notices nothing.
+	c := worker(t)
+	st := store.Open(0)
+	lg := ledger.New()
+	sim := router.NewSim(trafficgen.Config{Seed: 9, NumFlows: 24, Routers: 2}, st, lg)
+	if err := sim.RunEpochs(context.Background(), 0, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+	prover := core.NewProver(st, lg, core.Options{Checks: 6, Prove: c.Prove})
+	verifier := core.NewVerifier(lg)
+	for epoch := uint64(0); epoch < 2; epoch++ {
+		res, err := prover.AggregateEpoch(epoch)
+		if err != nil {
+			t.Fatalf("off-path aggregate %d: %v", epoch, err)
+		}
+		if _, err := verifier.VerifyAggregation(res.Receipt); err != nil {
+			t.Fatalf("verify %d: %v", epoch, err)
+		}
+	}
+	qr, err := prover.Query("SELECT SUM(packets) FROM clogs;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verifier.VerifyQuery(qr.SQL, qr.Receipt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffPathTamperStillAborts(t *testing.T) {
+	// Tampered telemetry must fail proving even through the worker.
+	c := worker(t)
+	st := store.Open(0)
+	lg := ledger.New()
+	sim := router.NewSim(trafficgen.Config{Seed: 10, NumFlows: 16, Routers: 2}, st, lg)
+	if _, err := sim.RunEpoch(context.Background(), 0, 6); err != nil {
+		t.Fatal(err)
+	}
+	st.Append(0, 0, []netflow.Record{{Key: netflow.FlowKey{SrcIP: 1}, Packets: 1, StartUnix: 1, EndUnix: 2}})
+	prover := core.NewProver(st, lg, core.Options{Checks: 6, Prove: c.Prove})
+	if _, err := prover.AggregateEpoch(0); err == nil {
+		t.Fatal("tampered store proven off-path")
+	}
+}

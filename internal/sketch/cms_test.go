@@ -1,0 +1,169 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+
+	"zkflow/internal/netflow"
+)
+
+func key(i uint32) netflow.FlowKey {
+	return netflow.FlowKey{SrcIP: i, DstIP: i ^ 0xffff, SrcPort: uint16(i), DstPort: 443, Proto: 6}
+}
+
+func TestNeverUnderestimates(t *testing.T) {
+	s := MustNew(4, 256)
+	truth := map[netflow.FlowKey]uint32{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		k := key(uint32(rng.Intn(300)))
+		c := uint32(1 + rng.Intn(50))
+		s.Add(k, c)
+		truth[k] += c
+	}
+	for k, want := range truth {
+		if got := s.Estimate(k); got < want {
+			t.Fatalf("underestimate for %v: %d < %d", k, got, want)
+		}
+	}
+}
+
+func TestErrorBound(t *testing.T) {
+	// Standard CMS guarantee: err <= e/width * L1 w.p. 1-e^-depth;
+	// test a relaxed bound over many keys.
+	s := MustNew(4, 1024)
+	truth := map[netflow.FlowKey]uint32{}
+	rng := rand.New(rand.NewSource(2))
+	var l1 uint64
+	for i := 0; i < 5000; i++ {
+		k := key(uint32(rng.Intn(1000)))
+		c := uint32(1 + rng.Intn(20))
+		s.Add(k, c)
+		truth[k] += c
+		l1 += uint64(c)
+	}
+	if s.L1() != l1 {
+		t.Fatalf("L1 = %d, want %d", s.L1(), l1)
+	}
+	bound := uint32(8 * l1 / uint64(s.Width)) // generous 8/width * L1
+	bad := 0
+	for k, want := range truth {
+		if s.Estimate(k)-want > bound {
+			bad++
+		}
+	}
+	if bad > len(truth)/20 {
+		t.Fatalf("%d/%d estimates exceed the error bound", bad, len(truth))
+	}
+}
+
+func TestMergeEqualsUnion(t *testing.T) {
+	a, b, u := MustNew(4, 512), MustNew(4, 512), MustNew(4, 512)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		k := key(uint32(rng.Intn(100)))
+		c := uint32(rng.Intn(10) + 1)
+		if i%2 == 0 {
+			a.Add(k, c)
+		} else {
+			b.Add(k, c)
+		}
+		u.Add(k, c)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Counters {
+		if a.Counters[i] != u.Counters[i] {
+			t.Fatalf("merged counter %d differs", i)
+		}
+	}
+}
+
+func TestMergeShapeMismatch(t *testing.T) {
+	if err := MustNew(4, 512).Merge(MustNew(4, 256)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if err := MustNew(2, 512).Merge(MustNew(4, 512)); err == nil {
+		t.Fatal("depth mismatch accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 512); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+	if _, err := New(MaxDepth+1, 512); err == nil {
+		t.Fatal("excess depth accepted")
+	}
+	if _, err := New(4, 500); err == nil {
+		t.Fatal("non-power-of-two width accepted")
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	s := MustNew(3, 128)
+	s.Add(key(1), 7)
+	s.Add(key(2), 9)
+	got, err := FromWords(s.Words())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Depth != 3 || got.Width != 128 {
+		t.Fatal("dims lost")
+	}
+	for i := range s.Counters {
+		if got.Counters[i] != s.Counters[i] {
+			t.Fatalf("counter %d differs", i)
+		}
+	}
+}
+
+func TestFromWordsRejects(t *testing.T) {
+	if _, err := FromWords(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := FromWords([]uint32{4, 128, 1, 2}); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	if _, err := FromWords([]uint32{4, 100}); err == nil {
+		t.Fatal("bad width accepted")
+	}
+}
+
+func TestHeavyHitters(t *testing.T) {
+	s := MustNew(4, 1024)
+	candidates := make([]netflow.FlowKey, 50)
+	for i := range candidates {
+		candidates[i] = key(uint32(i))
+		s.Add(candidates[i], 10)
+	}
+	s.Add(candidates[7], 1000)
+	s.Add(candidates[3], 500)
+	hh := s.HeavyHitters(candidates, 400)
+	if len(hh) != 2 {
+		t.Fatalf("found %d heavy hitters", len(hh))
+	}
+	if hh[0].Key != candidates[7] || hh[1].Key != candidates[3] {
+		t.Fatalf("wrong order: %+v", hh)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := MustNew(2, 64)
+	s.Add(key(1), 5)
+	c := s.Clone()
+	c.Add(key(1), 5)
+	if s.Estimate(key(1)) == c.Estimate(key(1)) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestAddRecord(t *testing.T) {
+	s := MustNew(4, 256)
+	rec := netflow.Record{Key: key(9), Packets: 33}
+	s.AddRecord(&rec)
+	if s.Estimate(key(9)) < 33 {
+		t.Fatal("record packets not counted")
+	}
+}

@@ -1,0 +1,348 @@
+// Package stark implements a FRI-based STARK prover and verifier over
+// any air.AIR: the trace columns are low-degree-extended onto a coset,
+// committed row-wise in a Merkle tree, the constraints are combined
+// into a random-linear composition polynomial whose quotients by the
+// appropriate zerofiers must be low degree, and FRI proves that
+// degree bound. At each FRI query position the verifier recomputes
+// the composition value from opened trace rows, tying the FRI layer-0
+// commitment to the trace commitment.
+//
+// This is the "specialized proof system" of the paper's §7: compared
+// with the zkVM's committed-trace argument it removes all machine
+// interpretation overhead and carries only polylogarithmic data.
+//
+// This instance is succinct and sound but not zero-knowledge: trace
+// rows opened at query positions are revealed unblinded (adding
+// randomizer rows and salting would close that; the §7 ablation only
+// needs the throughput/size behaviour).
+package stark
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"zkflow/internal/air"
+	"zkflow/internal/field"
+	"zkflow/internal/fri"
+	"zkflow/internal/merkle"
+	"zkflow/internal/poly"
+	"zkflow/internal/transcript"
+)
+
+// Params configures proving.
+type Params struct {
+	// FriParams configures the low-degree test.
+	FriParams fri.Params
+}
+
+// DefaultParams are demo-grade parameters.
+var DefaultParams = Params{FriParams: fri.DefaultParams}
+
+// shift is the LDE coset shift (off the trace subgroup).
+var shift = field.Elem(field.Generator)
+
+// RowOpening reveals one LDE trace row with its Merkle path.
+type RowOpening struct {
+	Pos    int
+	Values []field.Elem
+	Path   []merkle.Hash
+}
+
+// Proof is a complete STARK proof.
+type Proof struct {
+	N         int // trace length
+	TraceRoot merkle.Hash
+	Rows      []RowOpening // sorted by Pos, deduplicated
+	Fri       *fri.Proof
+}
+
+// Size returns the approximate encoded proof size in bytes.
+func (p *Proof) Size() int {
+	n := 4 + 32
+	for i := range p.Rows {
+		n += 4 + 8*len(p.Rows[i].Values) + 32*len(p.Rows[i].Path)
+	}
+	return n + p.Fri.Size()
+}
+
+// layout derives the domain geometry for a trace of length n under
+// constraint degree d: composition degree bound and LDE domain size.
+func layout(n, maxDegree int) (bound, domain int) {
+	// Quotient degrees stay below maxDegree*n; round the bound up to
+	// a power of two and evaluate at rate 1/4.
+	bound = 1
+	for bound < maxDegree*n {
+		bound <<= 1
+	}
+	return bound, 4 * bound
+}
+
+// rowLeaf serialises one LDE row for commitment.
+func rowLeaf(vals []field.Elem) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	return buf
+}
+
+// Prove generates a proof that trace (n rows × a.NumColumns() cells,
+// n a power of two) satisfies the AIR. The transcript must already
+// have absorbed the public statement.
+func Prove(a air.AIR, trace [][]field.Elem, tr *transcript.Transcript, params Params) (*Proof, error) {
+	n := len(trace)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("stark: trace length %d not a power of two", n)
+	}
+	cols := a.NumColumns()
+	for i := range trace {
+		if len(trace[i]) != cols {
+			return nil, fmt.Errorf("stark: row %d has %d cells, want %d", i, len(trace[i]), cols)
+		}
+	}
+	bound, domain := layout(n, a.MaxDegree())
+	step := domain / n
+
+	// Column-wise LDE.
+	lde := make([][]field.Elem, cols) // lde[c][i]
+	for c := 0; c < cols; c++ {
+		col := make([]field.Elem, n)
+		for i := 0; i < n; i++ {
+			col[i] = trace[i][c]
+		}
+		coeffs := poly.Interpolate(col)
+		lde[c] = poly.CosetEval(coeffs, shift, domain)
+	}
+	// Row-wise commitment.
+	leafHashes := make([]merkle.Hash, domain)
+	rowVals := func(i int) []field.Elem {
+		out := make([]field.Elem, cols)
+		for c := 0; c < cols; c++ {
+			out[c] = lde[c][i]
+		}
+		return out
+	}
+	for i := 0; i < domain; i++ {
+		leafHashes[i] = merkle.LeafHash(rowLeaf(rowVals(i)))
+	}
+	traceTree := merkle.BuildHashes(leafHashes)
+	root := traceTree.Root()
+
+	tr.Append("trace-root", root[:])
+	tr.AppendUint64("trace-n", uint64(n))
+	nLocal, nTrans := a.NumLocal(), a.NumTransition()
+	bnds := a.Boundaries(n)
+	alphas := tr.ChallengeElems("alphas", nLocal+nTrans+len(bnds))
+
+	// Composition evaluation over the LDE domain.
+	comp, err := composition(a, n, domain, step, alphas, bnds, func(i int) []field.Elem { return rowVals(i) })
+	if err != nil {
+		return nil, err
+	}
+
+	friProof, err := fri.Prove(comp, bound, shift, tr, params.FriParams)
+	if err != nil {
+		return nil, fmt.Errorf("stark: fri: %w", err)
+	}
+
+	// Open the trace rows each FRI query needs: position p, its pair
+	// p+domain/2, and both rotations (+step).
+	need := map[int]bool{}
+	for _, p := range friProof.Positions {
+		for _, q := range []int{p, p + domain/2} {
+			need[q%domain] = true
+			need[(q+step)%domain] = true
+		}
+	}
+	positions := make([]int, 0, len(need))
+	for p := range need {
+		positions = append(positions, p)
+	}
+	sort.Ints(positions)
+	proof := &Proof{N: n, TraceRoot: root, Fri: friProof}
+	for _, p := range positions {
+		mp, err := traceTree.Prove(p)
+		if err != nil {
+			return nil, err
+		}
+		proof.Rows = append(proof.Rows, RowOpening{Pos: p, Values: rowVals(p), Path: mp.Path})
+	}
+	return proof, nil
+}
+
+// composition evaluates the random-linear constraint combination over
+// the whole LDE domain (prover side) using the row accessor.
+func composition(a air.AIR, n, domain, step int, alphas []field.Elem, bnds []air.Boundary, row func(int) []field.Elem) ([]field.Elem, error) {
+	logD := 0
+	for 1<<logD < domain {
+		logD++
+	}
+	w := field.RootOfUnity(logD)
+	logN := 0
+	for 1<<logN < n {
+		logN++
+	}
+	g := field.RootOfUnity(logN)
+	gLast := field.Exp(g, uint64(n-1))
+
+	// Precompute x_i, full-zerofier inverses (periodic with period
+	// step), and boundary denominators.
+	xs := make([]field.Elem, domain)
+	x := shift
+	for i := 0; i < domain; i++ {
+		xs[i] = x
+		x = field.Mul(x, w)
+	}
+	zfInv := make([]field.Elem, step)
+	for i := 0; i < step; i++ {
+		zfInv[i] = field.Sub(field.Exp(xs[i], uint64(n)), field.One)
+	}
+	field.BatchInv(zfInv)
+	lastDen := make([]field.Elem, domain)
+	for i := range lastDen {
+		lastDen[i] = field.Sub(xs[i], gLast)
+	}
+	bndDen := make([][]field.Elem, len(bnds))
+	for k, b := range bnds {
+		pt := field.Exp(g, uint64(b.Row))
+		bndDen[k] = make([]field.Elem, domain)
+		for i := 0; i < domain; i++ {
+			bndDen[k][i] = field.Sub(xs[i], pt)
+		}
+		field.BatchInv(bndDen[k])
+	}
+
+	nLocal, nTrans := a.NumLocal(), a.NumTransition()
+	localOut := make([]field.Elem, nLocal)
+	transOut := make([]field.Elem, nTrans)
+	comp := make([]field.Elem, domain)
+	for i := 0; i < domain; i++ {
+		curr := row(i)
+		next := row((i + step) % domain)
+		var acc field.Elem
+		ai := 0
+		if nLocal > 0 {
+			a.EvalLocal(xs[i], n, curr, localOut)
+			for _, v := range localOut {
+				acc = field.Add(acc, field.Mul(alphas[ai], field.Mul(v, zfInv[i%step])))
+				ai++
+			}
+		} else {
+			ai += nLocal
+		}
+		if nTrans > 0 {
+			a.EvalTransition(xs[i], n, curr, next, transOut)
+			// 1/Z_trans = (x - g^{n-1}) / (x^n - 1).
+			zt := field.Mul(zfInv[i%step], lastDen[i])
+			for _, v := range transOut {
+				acc = field.Add(acc, field.Mul(alphas[ai], field.Mul(v, zt)))
+				ai++
+			}
+		}
+		for k, b := range bnds {
+			v := field.Sub(curr[b.Col], b.Value)
+			acc = field.Add(acc, field.Mul(alphas[ai+k], field.Mul(v, bndDen[k][i])))
+		}
+		comp[i] = acc
+	}
+	return comp, nil
+}
+
+// ErrReject wraps all verification failures.
+var ErrReject = errors.New("stark: proof rejected")
+
+// Verify checks the proof. The transcript must have absorbed the same
+// public statement as the prover's.
+func Verify(a air.AIR, proof *Proof, tr *transcript.Transcript, params Params) error {
+	n := proof.N
+	if n <= 0 || n&(n-1) != 0 {
+		return fmt.Errorf("%w: bad trace length %d", ErrReject, n)
+	}
+	cols := a.NumColumns()
+	bound, domain := layout(n, a.MaxDegree())
+	step := domain / n
+
+	tr.Append("trace-root", proof.TraceRoot[:])
+	tr.AppendUint64("trace-n", uint64(n))
+	nLocal, nTrans := a.NumLocal(), a.NumTransition()
+	bnds := a.Boundaries(n)
+	alphas := tr.ChallengeElems("alphas", nLocal+nTrans+len(bnds))
+
+	// Authenticate the opened rows once.
+	rows := make(map[int][]field.Elem, len(proof.Rows))
+	for i := range proof.Rows {
+		ro := &proof.Rows[i]
+		if ro.Pos < 0 || ro.Pos >= domain || len(ro.Values) != cols {
+			return fmt.Errorf("%w: malformed row opening at %d", ErrReject, ro.Pos)
+		}
+		leaf := merkle.LeafHash(rowLeaf(ro.Values))
+		if !merkle.Verify(proof.TraceRoot, leaf, merkle.Proof{Index: ro.Pos, Path: ro.Path}) {
+			return fmt.Errorf("%w: trace opening at %d", ErrReject, ro.Pos)
+		}
+		rows[ro.Pos] = ro.Values
+	}
+
+	logD := 0
+	for 1<<logD < domain {
+		logD++
+	}
+	w := field.RootOfUnity(logD)
+	logN := 0
+	for 1<<logN < n {
+		logN++
+	}
+	g := field.RootOfUnity(logN)
+	gLast := field.Exp(g, uint64(n-1))
+	localOut := make([]field.Elem, nLocal)
+	transOut := make([]field.Elem, nTrans)
+
+	compAt := func(pos int) (field.Elem, error) {
+		curr, ok := rows[pos]
+		if !ok {
+			return 0, fmt.Errorf("missing trace row %d", pos)
+		}
+		next, ok := rows[(pos+step)%domain]
+		if !ok {
+			return 0, fmt.Errorf("missing rotated trace row %d", (pos+step)%domain)
+		}
+		x := field.Mul(shift, field.Exp(w, uint64(pos)))
+		zf := field.Sub(field.Exp(x, uint64(n)), field.One)
+		if zf == 0 {
+			return 0, fmt.Errorf("query on the trace domain")
+		}
+		zfInv := field.Inv(zf)
+		var acc field.Elem
+		ai := 0
+		if nLocal > 0 {
+			a.EvalLocal(x, n, curr, localOut)
+			for _, v := range localOut {
+				acc = field.Add(acc, field.Mul(alphas[ai], field.Mul(v, zfInv)))
+				ai++
+			}
+		}
+		if nTrans > 0 {
+			a.EvalTransition(x, n, curr, next, transOut)
+			zt := field.Mul(zfInv, field.Sub(x, gLast))
+			for _, v := range transOut {
+				acc = field.Add(acc, field.Mul(alphas[ai], field.Mul(v, zt)))
+				ai++
+			}
+		}
+		for k, b := range bnds {
+			den := field.Sub(x, field.Exp(g, uint64(b.Row)))
+			if den == 0 {
+				return 0, fmt.Errorf("query on a boundary point")
+			}
+			v := field.Sub(curr[b.Col], b.Value)
+			acc = field.Add(acc, field.Mul(alphas[ai+k], field.Mul(v, field.Inv(den))))
+		}
+		return acc, nil
+	}
+
+	if err := fri.Verify(proof.Fri, domain, bound, shift, tr, params.FriParams, compAt); err != nil {
+		return fmt.Errorf("%w: %v", ErrReject, err)
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"zkflow/internal/netflow"
+)
+
+func rec(i uint32) netflow.Record {
+	return netflow.Record{
+		Key:     netflow.FlowKey{SrcIP: i, DstIP: 9, SrcPort: 80, DstPort: 443, Proto: 6},
+		Packets: i, Bytes: i * 100, RouterID: i % 4,
+		StartUnix: 1700000000, EndUnix: 1700000005,
+	}
+}
+
+func TestAppendAndRead(t *testing.T) {
+	s := Open(0)
+	s.Append(1, 0, []netflow.Record{rec(1), rec(2)})
+	s.Append(1, 0, []netflow.Record{rec(3)})
+	got, err := s.Epoch(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d records", len(got))
+	}
+}
+
+func TestEpochReturnsCopy(t *testing.T) {
+	s := Open(0)
+	s.Append(1, 0, []netflow.Record{rec(1)})
+	got, _ := s.Epoch(1, 0)
+	got[0].Packets = 999
+	again, _ := s.Epoch(1, 0)
+	if again[0].Packets == 999 {
+		t.Fatal("Epoch aliases internal storage")
+	}
+}
+
+func TestEmptyEpoch(t *testing.T) {
+	s := Open(0)
+	got, err := s.Epoch(5, 2)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestRetentionEviction(t *testing.T) {
+	s := Open(3)
+	for e := uint64(0); e < 10; e++ {
+		s.Append(e, 0, []netflow.Record{rec(uint32(e))})
+	}
+	if _, err := s.Epoch(5, 0); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("epoch 5 should be evicted, got %v", err)
+	}
+	for e := uint64(7); e < 10; e++ {
+		if _, err := s.Epoch(e, 0); err != nil {
+			t.Fatalf("epoch %d evicted too early: %v", e, err)
+		}
+	}
+	if got := s.Epochs(); len(got) != 3 || got[0] != 7 {
+		t.Fatalf("retained epochs %v", got)
+	}
+}
+
+func TestUnlimitedRetention(t *testing.T) {
+	s := Open(0)
+	for e := uint64(0); e < 50; e++ {
+		s.Append(e, 0, []netflow.Record{rec(uint32(e))})
+	}
+	if _, err := s.Epoch(0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouters(t *testing.T) {
+	s := Open(0)
+	s.Append(1, 3, []netflow.Record{rec(1)})
+	s.Append(1, 1, []netflow.Record{rec(2)})
+	s.Append(2, 0, []netflow.Record{rec(3)})
+	got, err := s.Routers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("routers = %v", got)
+	}
+	// Evicted epochs must be distinguishable from empty ones.
+	e := Open(1)
+	e.Append(5, 0, []netflow.Record{rec(1)})
+	if _, err := e.Routers(1); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("evicted Routers: %v", err)
+	}
+}
+
+func TestLen(t *testing.T) {
+	s := Open(0)
+	s.Append(1, 0, []netflow.Record{rec(1), rec(2)})
+	s.Append(2, 1, []netflow.Record{rec(3)})
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	s := Open(0)
+	var wg sync.WaitGroup
+	for r := uint32(0); r < 8; r++ {
+		wg.Add(1)
+		go func(r uint32) {
+			defer wg.Done()
+			for e := uint64(0); e < 20; e++ {
+				s.Append(e, r, []netflow.Record{rec(r)})
+			}
+		}(r)
+	}
+	wg.Wait()
+	if s.Len() != 8*20 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := Open(4)
+	for e := uint64(0); e < 3; e++ {
+		for r := uint32(0); r < 2; r++ {
+			s.Append(e, r, []netflow.Record{rec(uint32(e)*10 + r), rec(uint32(e)*10 + r + 100)})
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != s.Len() {
+		t.Fatalf("loaded %d records, want %d", s2.Len(), s.Len())
+	}
+	a, _ := s.Epoch(1, 1)
+	b, _ := s2.Epoch(1, 1)
+	if len(a) != len(b) {
+		t.Fatal("segment length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("garbage bytes here!!"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	s := Open(0)
+	s.Append(1, 0, []netflow.Record{rec(1)})
+	path := filepath.Join(t.TempDir(), "store.bin")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("len = %d", s2.Len())
+	}
+}

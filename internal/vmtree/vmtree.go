@@ -1,0 +1,147 @@
+// Package vmtree defines the Merkle tree convention shared between
+// zkVM guests and the host: SHA-256 over little-endian packed uint32
+// words, leaves hashed directly from entry words, internal nodes from
+// the concatenation of their children's digest words, and leaf levels
+// padded to a power of two with all-zero digests.
+//
+// Guests rebuild this tree with the SysHash precompile (the dominant
+// proving cost, as the paper reports for its in-zkVM Merkle updates);
+// the host uses this package to predict and cross-check roots and to
+// produce inclusion proofs against guest-committed roots. Domain
+// separation between leaves and nodes comes from input length: leaves
+// hash entry-width payloads, nodes hash exactly 16 words.
+package vmtree
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"zkflow/internal/merkle"
+)
+
+// Digest is a SHA-256 digest as 8 little-endian words — the form
+// guests hold digests in memory.
+type Digest [8]uint32
+
+// Zero is the padding digest for absent leaves.
+var Zero Digest
+
+// Bytes converts the digest to its byte form.
+func (d Digest) Bytes() merkle.Hash {
+	var out merkle.Hash
+	for i, w := range d {
+		binary.LittleEndian.PutUint32(out[4*i:], w)
+	}
+	return out
+}
+
+// FromBytes converts a byte digest to word form.
+func FromBytes(h merkle.Hash) Digest {
+	var d Digest
+	for i := range d {
+		d[i] = binary.LittleEndian.Uint32(h[4*i:])
+	}
+	return d
+}
+
+// HashWords hashes a word slice (little-endian packed), exactly as the
+// SysHash precompile does.
+func HashWords(words []uint32) Digest {
+	buf := make([]byte, 4*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(buf[4*i:], w)
+	}
+	return FromBytes(sha256.Sum256(buf))
+}
+
+// Node hashes two child digests (16 words).
+func Node(l, r Digest) Digest {
+	var words [16]uint32
+	copy(words[:8], l[:])
+	copy(words[8:], r[:])
+	return HashWords(words[:])
+}
+
+// LeafDigests hashes each entry's words into its leaf digest.
+func LeafDigests(entries [][]uint32) []Digest {
+	out := make([]Digest, len(entries))
+	for i, e := range entries {
+		out[i] = HashWords(e)
+	}
+	return out
+}
+
+// RootFromDigests folds leaf digests to the root: pad to a power of
+// two with Zero, then reduce pairwise. An empty input has root Zero.
+func RootFromDigests(digests []Digest) Digest {
+	n := len(digests)
+	if n == 0 {
+		return Zero
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	level := make([]Digest, size)
+	copy(level, digests)
+	for len(level) > 1 {
+		next := level[:len(level)/2]
+		for i := range next {
+			next[i] = Node(level[2*i], level[2*i+1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// Root hashes entries and folds to the root.
+func Root(entries [][]uint32) Digest {
+	return RootFromDigests(LeafDigests(entries))
+}
+
+// Proof is an inclusion proof in the vmtree convention.
+type Proof struct {
+	Index int
+	Path  []Digest
+}
+
+// Prove builds an inclusion proof for leaf index among digests.
+func Prove(digests []Digest, index int) Proof {
+	n := len(digests)
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	level := make([]Digest, size)
+	copy(level, digests)
+	p := Proof{Index: index}
+	idx := index
+	for len(level) > 1 {
+		p.Path = append(p.Path, level[idx^1])
+		next := level[:len(level)/2]
+		for i := range next {
+			next[i] = Node(level[2*i], level[2*i+1])
+		}
+		level = next
+		idx >>= 1
+	}
+	return p
+}
+
+// Verify checks that leaf is committed at p.Index under root.
+func Verify(root Digest, leaf Digest, p Proof) bool {
+	if p.Index < 0 {
+		return false
+	}
+	h := leaf
+	idx := p.Index
+	for _, sib := range p.Path {
+		if idx&1 == 0 {
+			h = Node(h, sib)
+		} else {
+			h = Node(sib, h)
+		}
+		idx >>= 1
+	}
+	return idx == 0 && h == root
+}

@@ -1,0 +1,110 @@
+package vmtree
+
+import (
+	"crypto/sha256"
+	"testing"
+
+	"zkflow/internal/merkle"
+)
+
+func entries(n int) [][]uint32 {
+	out := make([][]uint32, n)
+	for i := range out {
+		out[i] = []uint32{uint32(i), uint32(i * 7), 0xdead, uint32(n)}
+	}
+	return out
+}
+
+func TestDigestBytesRoundTrip(t *testing.T) {
+	d := HashWords([]uint32{1, 2, 3})
+	if FromBytes(d.Bytes()) != d {
+		t.Fatal("byte conversion round trip failed")
+	}
+}
+
+func TestRootEmptyIsZero(t *testing.T) {
+	if Root(nil) != Zero {
+		t.Fatal("empty root not zero")
+	}
+}
+
+func TestRootSingleLeaf(t *testing.T) {
+	es := entries(1)
+	if Root(es) != HashWords(es[0]) {
+		t.Fatal("single-leaf root should be the leaf digest")
+	}
+}
+
+func TestRootSensitivity(t *testing.T) {
+	es := entries(10)
+	base := Root(es)
+	for i := range es {
+		mod := entries(10)
+		mod[i][0] ^= 1
+		if Root(mod) == base {
+			t.Fatalf("leaf %d does not affect root", i)
+		}
+	}
+	if Root(entries(11)) == base {
+		t.Fatal("leaf count does not affect root")
+	}
+}
+
+func TestPaddingIsZeroDigest(t *testing.T) {
+	// A 3-leaf tree pads with Zero: root = H(H(l0,l1), H(l2, Zero)).
+	es := entries(3)
+	d := LeafDigests(es)
+	want := Node(Node(d[0], d[1]), Node(d[2], Zero))
+	if RootFromDigests(d) != want {
+		t.Fatal("padding convention mismatch")
+	}
+}
+
+func TestProveVerifyAllLeaves(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		es := entries(n)
+		d := LeafDigests(es)
+		root := RootFromDigests(d)
+		for i := 0; i < n; i++ {
+			p := Prove(d, i)
+			if !Verify(root, d[i], p) {
+				t.Fatalf("n=%d i=%d: valid proof rejected", n, i)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsForgery(t *testing.T) {
+	es := entries(8)
+	d := LeafDigests(es)
+	root := RootFromDigests(d)
+	p := Prove(d, 3)
+	if Verify(root, d[4], p) {
+		t.Fatal("wrong leaf accepted")
+	}
+	p.Index = 2
+	if Verify(root, d[3], p) {
+		t.Fatal("wrong index accepted")
+	}
+	p.Index = -1
+	if Verify(root, d[3], p) {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestHashWordsMatchesSysHashConvention(t *testing.T) {
+	// HashWords must equal SHA-256 over little-endian packed words —
+	// the exact SysHash precompile semantics the guests rely on.
+	words := []uint32{0x01020304, 0xa0b0c0d0}
+	var buf [8]byte
+	buf[0], buf[1], buf[2], buf[3] = 0x04, 0x03, 0x02, 0x01
+	buf[4], buf[5], buf[6], buf[7] = 0xd0, 0xc0, 0xb0, 0xa0
+	want := FromBytes(merkle.Hash(sum256(buf[:])))
+	if HashWords(words) != want {
+		t.Fatal("word packing convention mismatch")
+	}
+}
+
+func sum256(b []byte) [32]byte {
+	return sha256.Sum256(b)
+}

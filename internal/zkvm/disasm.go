@@ -1,0 +1,51 @@
+package zkvm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the program one instruction per line with
+// indices, in a form readable next to Assembler.Listing output.
+// Useful when debugging guests from a decoded Program (e.g. one
+// received by an off-path proving worker).
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for i, in := range p.Instrs {
+		fmt.Fprintf(&b, "%5d  %s\n", i, disasmInstr(in))
+	}
+	return b.String()
+}
+
+func disasmInstr(in Instr) string {
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpDivu, OpRemu, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSltu:
+		return fmt.Sprintf("%-6s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSltiu:
+		return fmt.Sprintf("%-6s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case OpLi:
+		return fmt.Sprintf("%-6s r%d, %d", in.Op, in.Rd, in.Imm)
+	case OpLw:
+		return fmt.Sprintf("%-6s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case OpSw:
+		return fmt.Sprintf("%-6s r%d, %d(r%d)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case OpBeq, OpBne, OpBltu, OpBgeu:
+		return fmt.Sprintf("%-6s r%d, r%d, -> %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case OpJal:
+		return fmt.Sprintf("%-6s r%d, -> %d", in.Op, in.Rd, in.Imm)
+	case OpJalr:
+		return fmt.Sprintf("%-6s r%d, r%d+%d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case OpEcall:
+		name := map[uint32]string{
+			SysRead: "read", SysJournal: "journal", SysHash: "hash", SysInputLen: "input_len",
+		}[in.Imm]
+		if name == "" {
+			name = fmt.Sprintf("%d", in.Imm)
+		}
+		return fmt.Sprintf("%-6s %s", in.Op, name)
+	case OpHalt:
+		return "halt"
+	default:
+		return in.String()
+	}
+}

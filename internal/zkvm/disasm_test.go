@@ -1,0 +1,49 @@
+package zkvm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleCoversAllOpcodes(t *testing.T) {
+	a := NewAssembler()
+	a.Add(R1, R2, R3)
+	a.Addi(R1, R2, 7)
+	a.Li(R4, 42)
+	a.Lw(R5, R6, 9)
+	a.Sw(R5, R6, 9)
+	a.Label("l")
+	a.Beq(R1, R2, "l")
+	a.Jal(R7, "l")
+	a.Jalr(R0, R7, 0)
+	a.Ecall(SysHash)
+	a.Ecall(99)
+	a.Halt()
+	prog := a.MustAssemble()
+	out := prog.Disassemble()
+	for _, want := range []string{"add", "addi", "li", "9(r6)", "-> 5", "hash", "ecall  99", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != len(prog.Instrs) {
+		t.Fatalf("%d lines for %d instructions", got, len(prog.Instrs))
+	}
+}
+
+func TestDisassembleRoundTripStable(t *testing.T) {
+	// Disassembling a decoded program equals disassembling the
+	// original (encode/decode must not perturb rendering).
+	a := NewAssembler()
+	a.Li(R2, 0xdeadbeef)
+	a.Sltu(R3, R2, R2)
+	a.HaltCode(0)
+	prog := a.MustAssemble()
+	dec, err := DecodeProgram(prog.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Disassemble() != dec.Disassemble() {
+		t.Fatal("disassembly differs across encode/decode")
+	}
+}

@@ -1,0 +1,325 @@
+package zkvm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Row is one execution-trace row: the machine state *before* the step
+// at that row executes. Rows are what the prover commits to and what
+// sampled transition checks re-execute.
+type Row struct {
+	PC     uint32
+	Regs   [NumRegs]uint32
+	MemPtr uint32 // memory-log length before this step
+	InPtr  uint32 // input words consumed before this step
+	JPtr   uint32 // journal words written before this step
+}
+
+// MemEntry is one entry of the memory-access log.
+type MemEntry struct {
+	Addr    uint32
+	Val     uint32
+	Seq     uint32 // position in the program-order log
+	Step    uint32 // trace row that issued the access
+	IsWrite bool
+}
+
+// Execution is a completed guest run: the full trace, the memory log
+// in program order, and the public journal.
+type Execution struct {
+	Program  *Program
+	Rows     []Row
+	MemLog   []MemEntry
+	Journal  []uint32
+	ExitCode uint32
+}
+
+// TrapError reports an execution fault. A trapped guest cannot be
+// proven: this is the "failed proof generation" signal the paper's
+// tamper experiment relies on.
+type TrapError struct {
+	PC     uint32
+	Step   int
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("zkvm: trap at pc=%d step=%d: %s", e.PC, e.Step, e.Reason)
+}
+
+// ErrStepLimit reports that the guest exceeded the configured cycle
+// budget.
+var ErrStepLimit = errors.New("zkvm: step limit exceeded")
+
+// maxHashWords bounds a single SysHash request.
+const maxHashWords = 1 << 24
+
+// execEnv supplies the step function with its value sources. The
+// emulator backs it with real memory and the input tape; the verifier
+// backs it with the opened memory-log entries and journal.
+type execEnv interface {
+	load(addr uint32) (uint32, error)
+	store(addr, val uint32) error
+	readInput() (uint32, error)
+	inputLen() (uint32, error)
+	writeJournal(val uint32) error
+}
+
+// ioCounts tallies the side effects of one step, used to check the
+// MemPtr/InPtr/JPtr continuity between adjacent rows.
+type ioCounts struct {
+	mem, in, journal uint32
+}
+
+// step executes the instruction at row.PC against env and returns the
+// successor machine state. It is the single source of truth for
+// TinyRISC semantics: the emulator and the seal verifier both call it.
+func step(prog *Program, row *Row, env execEnv) (nextPC uint32, nextRegs [NumRegs]uint32, counts ioCounts, halted bool, err error) {
+	if row.PC >= uint32(len(prog.Instrs)) {
+		return 0, nextRegs, counts, false, fmt.Errorf("pc %d outside program of %d instructions", row.PC, len(prog.Instrs))
+	}
+	in := prog.Instrs[row.PC]
+	regs := row.Regs
+	nextPC = row.PC + 1
+
+	setRd := func(v uint32) {
+		if in.Rd != 0 {
+			regs[in.Rd] = v
+		}
+	}
+	rs1, rs2 := regs[in.Rs1], regs[in.Rs2]
+
+	switch in.Op {
+	case OpAdd:
+		setRd(rs1 + rs2)
+	case OpSub:
+		setRd(rs1 - rs2)
+	case OpMul:
+		setRd(rs1 * rs2)
+	case OpDivu:
+		if rs2 == 0 {
+			setRd(0xffffffff)
+		} else {
+			setRd(rs1 / rs2)
+		}
+	case OpRemu:
+		if rs2 == 0 {
+			setRd(rs1)
+		} else {
+			setRd(rs1 % rs2)
+		}
+	case OpAnd:
+		setRd(rs1 & rs2)
+	case OpOr:
+		setRd(rs1 | rs2)
+	case OpXor:
+		setRd(rs1 ^ rs2)
+	case OpSll:
+		setRd(rs1 << (rs2 & 31))
+	case OpSrl:
+		setRd(rs1 >> (rs2 & 31))
+	case OpSltu:
+		if rs1 < rs2 {
+			setRd(1)
+		} else {
+			setRd(0)
+		}
+	case OpAddi:
+		setRd(rs1 + in.Imm)
+	case OpAndi:
+		setRd(rs1 & in.Imm)
+	case OpOri:
+		setRd(rs1 | in.Imm)
+	case OpXori:
+		setRd(rs1 ^ in.Imm)
+	case OpSlli:
+		setRd(rs1 << (in.Imm & 31))
+	case OpSrli:
+		setRd(rs1 >> (in.Imm & 31))
+	case OpSltiu:
+		if rs1 < in.Imm {
+			setRd(1)
+		} else {
+			setRd(0)
+		}
+	case OpLi:
+		setRd(in.Imm)
+	case OpLw:
+		v, lerr := env.load(rs1 + in.Imm)
+		if lerr != nil {
+			return 0, regs, counts, false, lerr
+		}
+		counts.mem++
+		setRd(v)
+	case OpSw:
+		if serr := env.store(rs1+in.Imm, rs2); serr != nil {
+			return 0, regs, counts, false, serr
+		}
+		counts.mem++
+	case OpBeq:
+		if rs1 == rs2 {
+			nextPC = in.Imm
+		}
+	case OpBne:
+		if rs1 != rs2 {
+			nextPC = in.Imm
+		}
+	case OpBltu:
+		if rs1 < rs2 {
+			nextPC = in.Imm
+		}
+	case OpBgeu:
+		if rs1 >= rs2 {
+			nextPC = in.Imm
+		}
+	case OpJal:
+		setRd(row.PC + 1)
+		nextPC = in.Imm
+	case OpJalr:
+		setRd(row.PC + 1)
+		nextPC = rs1 + in.Imm
+	case OpEcall:
+		switch in.Imm {
+		case SysRead:
+			v, rerr := env.readInput()
+			if rerr != nil {
+				return 0, regs, counts, false, rerr
+			}
+			counts.in++
+			regs[R1] = v
+		case SysJournal:
+			if jerr := env.writeJournal(regs[R1]); jerr != nil {
+				return 0, regs, counts, false, jerr
+			}
+			counts.journal++
+		case SysHash:
+			addr, n, dst := regs[R1], regs[R2], regs[R3]
+			if n > maxHashWords {
+				return 0, regs, counts, false, fmt.Errorf("sys_hash length %d exceeds limit", n)
+			}
+			buf := make([]byte, 4*n)
+			for i := uint32(0); i < n; i++ {
+				v, lerr := env.load(addr + i)
+				if lerr != nil {
+					return 0, regs, counts, false, lerr
+				}
+				counts.mem++
+				binary.LittleEndian.PutUint32(buf[4*i:], v)
+			}
+			digest := sha256.Sum256(buf)
+			for j := uint32(0); j < 8; j++ {
+				w := binary.LittleEndian.Uint32(digest[4*j:])
+				if serr := env.store(dst+j, w); serr != nil {
+					return 0, regs, counts, false, serr
+				}
+				counts.mem++
+			}
+		case SysInputLen:
+			v, rerr := env.inputLen()
+			if rerr != nil {
+				return 0, regs, counts, false, rerr
+			}
+			regs[R1] = v
+		default:
+			return 0, regs, counts, false, fmt.Errorf("unknown ecall %d", in.Imm)
+		}
+	case OpHalt:
+		return row.PC, regs, counts, true, nil
+	default:
+		return 0, regs, counts, false, fmt.Errorf("invalid opcode %v", in.Op)
+	}
+	regs[0] = 0 // r0 is hardwired
+	return nextPC, regs, counts, false, nil
+}
+
+// emuEnv is the concrete environment used during real execution.
+type emuEnv struct {
+	mem     map[uint32]uint32
+	memLog  []MemEntry
+	step    uint32
+	input   []uint32
+	inPtr   int
+	journal []uint32
+}
+
+func (e *emuEnv) load(addr uint32) (uint32, error) {
+	v := e.mem[addr]
+	e.memLog = append(e.memLog, MemEntry{Addr: addr, Val: v, Seq: uint32(len(e.memLog)), Step: e.step})
+	return v, nil
+}
+
+func (e *emuEnv) store(addr, val uint32) error {
+	e.mem[addr] = val
+	e.memLog = append(e.memLog, MemEntry{Addr: addr, Val: val, Seq: uint32(len(e.memLog)), Step: e.step, IsWrite: true})
+	return nil
+}
+
+func (e *emuEnv) readInput() (uint32, error) {
+	if e.inPtr >= len(e.input) {
+		return 0, errors.New("input tape exhausted")
+	}
+	v := e.input[e.inPtr]
+	e.inPtr++
+	return v, nil
+}
+
+func (e *emuEnv) inputLen() (uint32, error) {
+	return uint32(len(e.input) - e.inPtr), nil
+}
+
+func (e *emuEnv) writeJournal(val uint32) error {
+	e.journal = append(e.journal, val)
+	return nil
+}
+
+// ExecOptions configures guest execution.
+type ExecOptions struct {
+	// MaxSteps bounds the cycle count (0 means the default of 1<<26).
+	MaxSteps int
+}
+
+// DefaultMaxSteps is the default cycle budget.
+const DefaultMaxSteps = 1 << 26
+
+// Execute runs the guest program over the private input tape and
+// returns the full traced execution. A trap (bad pc, exhausted input,
+// unknown ecall, cycle budget) returns a *TrapError or ErrStepLimit;
+// no proof can be generated for a trapped run.
+func Execute(prog *Program, input []uint32, opts ExecOptions) (*Execution, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	env := &emuEnv{mem: make(map[uint32]uint32), input: input}
+	var (
+		pc   uint32
+		regs [NumRegs]uint32
+		rows []Row
+	)
+	for stepNo := 0; ; stepNo++ {
+		if stepNo >= maxSteps {
+			return nil, ErrStepLimit
+		}
+		row := Row{PC: pc, Regs: regs, MemPtr: uint32(len(env.memLog)), InPtr: uint32(env.inPtr), JPtr: uint32(len(env.journal))}
+		rows = append(rows, row)
+		env.step = uint32(stepNo)
+		nextPC, nextRegs, _, halted, err := step(prog, &row, env)
+		if err != nil {
+			return nil, &TrapError{PC: pc, Step: stepNo, Reason: err.Error()}
+		}
+		if halted {
+			return &Execution{
+				Program:  prog,
+				Rows:     rows,
+				MemLog:   env.memLog,
+				Journal:  env.journal,
+				ExitCode: regs[R1],
+			}, nil
+		}
+		pc, regs = nextPC, nextRegs
+	}
+}

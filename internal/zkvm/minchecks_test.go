@@ -1,0 +1,27 @@
+package zkvm
+
+import "testing"
+
+func TestMinChecksEnforced(t *testing.T) {
+	prog := sumProgram()
+	r, err := Prove(prog, sumInput(8), ProveOptions{Checks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A lax verifier accepts the weak seal.
+	if err := Verify(prog, r, VerifyOptions{}); err != nil {
+		t.Fatalf("k=4 rejected without a floor: %v", err)
+	}
+	// A policy-enforcing verifier rejects it...
+	if err := Verify(prog, r, VerifyOptions{MinChecks: 48}); err == nil {
+		t.Fatal("k=4 accepted under MinChecks=48")
+	}
+	// ...and accepts a compliant one.
+	strong, err := Prove(prog, sumInput(8), ProveOptions{Checks: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(prog, strong, VerifyOptions{MinChecks: 48}); err != nil {
+		t.Fatalf("k=48 rejected: %v", err)
+	}
+}

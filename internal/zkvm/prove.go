@@ -1,0 +1,209 @@
+package zkvm
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"zkflow/internal/merkle"
+	"zkflow/internal/transcript"
+)
+
+// DefaultChecks is the default number of sampled checks per family.
+// Verification cost and seal size grow linearly in it; soundness
+// against a prover cheating on a fraction f of rows is 1-(1-f)^k.
+const DefaultChecks = 48
+
+// ProveOptions configures proof generation.
+type ProveOptions struct {
+	// Checks is the sampled-check count per family (default DefaultChecks).
+	Checks int
+	// Segments is the parallel commitment fan-out (default GOMAXPROCS).
+	Segments int
+	// AllowNonZeroExit proves runs that halted with a nonzero exit
+	// code. By default such runs are treated as guest aborts and
+	// refuse to prove — the paper's "failed proof generation" signal.
+	AllowNonZeroExit bool
+	// MaxSteps bounds the guest cycle budget (0 = default).
+	MaxSteps int
+}
+
+// GuestAbortError reports a guest that halted with a nonzero exit
+// code, e.g. because a telemetry integrity check failed.
+type GuestAbortError struct {
+	ExitCode uint32
+	Journal  []uint32
+}
+
+// Error implements the error interface.
+func (e *GuestAbortError) Error() string {
+	return fmt.Sprintf("zkvm: guest aborted with exit code %d", e.ExitCode)
+}
+
+// Prove executes the guest over the private input and generates a
+// receipt. Trapped or aborted executions return an error and no
+// receipt — tampered telemetry cannot be proven.
+func Prove(prog *Program, input []uint32, opts ProveOptions) (*Receipt, error) {
+	ex, err := Execute(prog, input, ExecOptions{MaxSteps: opts.MaxSteps})
+	if err != nil {
+		return nil, err
+	}
+	if ex.ExitCode != 0 && !opts.AllowNonZeroExit {
+		return nil, &GuestAbortError{ExitCode: ex.ExitCode, Journal: ex.Journal}
+	}
+	return ProveExecution(ex, opts)
+}
+
+// ProveExecution seals an already-traced execution.
+func ProveExecution(ex *Execution, opts ProveOptions) (*Receipt, error) {
+	checks := opts.Checks
+	if checks <= 0 {
+		checks = DefaultChecks
+	}
+	segments := opts.Segments
+	if segments <= 0 {
+		segments = defaultSegments()
+	}
+
+	var seed [32]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		return nil, fmt.Errorf("zkvm: salt seed: %w", err)
+	}
+
+	nRows := len(ex.Rows)
+	if nRows == 0 {
+		return nil, fmt.Errorf("zkvm: empty execution trace")
+	}
+	nMem := len(ex.MemLog)
+
+	// Serialise all committed tables.
+	rowPayloads := make([][]byte, nRows)
+	for i := range ex.Rows {
+		rowPayloads[i] = encodeRow(&ex.Rows[i])
+	}
+	memProgPayloads := make([][]byte, nMem)
+	for i := range ex.MemLog {
+		memProgPayloads[i] = encodeMemEntry(&ex.MemLog[i])
+	}
+	sorted := sortedMemLog(ex.MemLog)
+	memSortPayloads := make([][]byte, nMem)
+	for i := range sorted {
+		memSortPayloads[i] = encodeMemEntry(&sorted[i])
+	}
+
+	// Phase 1 commitments (before the memory challenges).
+	execTree := commitLeaves(&seed, treeExec, rowPayloads, segments)
+	memProgTree := commitLeaves(&seed, treeMemProg, memProgPayloads, segments)
+	memSortTree := commitLeaves(&seed, treeMemSort, memSortPayloads, segments)
+
+	receipt := &Receipt{
+		ImageID:  ex.Program.ID(),
+		ExitCode: ex.ExitCode,
+		Journal:  append([]uint32(nil), ex.Journal...),
+	}
+	s := &receipt.Seal
+	s.NumRows = uint32(nRows)
+	s.NumMem = uint32(nMem)
+	s.ExecRoot = execTree.Root()
+	s.MemProgRoot = memProgTree.Root()
+	s.MemSortRoot = memSortTree.Root()
+
+	tr := transcript.New("zkvm-seal-v1")
+	absorbPublic(tr, receipt)
+	tr.Append("exec-root", s.ExecRoot[:])
+	tr.Append("memprog-root", s.MemProgRoot[:])
+	tr.Append("memsort-root", s.MemSortRoot[:])
+	alpha := tr.ChallengeElem("alpha")
+	gamma := tr.ChallengeElem("gamma")
+
+	// Phase 2: running products under (alpha, gamma).
+	prodProg := runningProducts(ex.MemLog, alpha, gamma)
+	prodSort := runningProducts(sorted, alpha, gamma)
+	prodProgPayloads := make([][]byte, nMem)
+	prodSortPayloads := make([][]byte, nMem)
+	for i := 0; i < nMem; i++ {
+		prodProgPayloads[i] = encodeProd(prodProg[i])
+		prodSortPayloads[i] = encodeProd(prodSort[i])
+	}
+	prodProgTree := commitLeaves(&seed, treeProdProg, prodProgPayloads, segments)
+	prodSortTree := commitLeaves(&seed, treeProdSort, prodSortPayloads, segments)
+	s.ProdProgRoot = prodProgTree.Root()
+	s.ProdSortRoot = prodSortTree.Root()
+	tr.Append("prodprog-root", s.ProdProgRoot[:])
+	tr.Append("prodsort-root", s.ProdSortRoot[:])
+
+	open := func(t *merkle.Tree, label byte, payloads [][]byte, idx int) (Opening, error) {
+		proof, err := t.Prove(idx)
+		if err != nil {
+			return Opening{}, fmt.Errorf("zkvm: opening leaf %d: %w", idx, err)
+		}
+		return Opening{
+			Index: idx,
+			Salt:  deriveSalt(&seed, label, idx),
+			Data:  payloads[idx],
+			Path:  proof.Path,
+		}, nil
+	}
+	mustOpen := func(t *merkle.Tree, label byte, payloads [][]byte, idx int) Opening {
+		o, err := open(t, label, payloads, idx)
+		if err != nil {
+			panic(err) // indices are derived from committed lengths
+		}
+		return o
+	}
+
+	// Boundary openings.
+	s.FirstRow = mustOpen(execTree, treeExec, rowPayloads, 0)
+	s.LastRow = mustOpen(execTree, treeExec, rowPayloads, nRows-1)
+	if nMem > 0 {
+		s.MemProgFirst = mustOpen(memProgTree, treeMemProg, memProgPayloads, 0)
+		s.MemSortFirst = mustOpen(memSortTree, treeMemSort, memSortPayloads, 0)
+		s.ProdProgFirst = mustOpen(prodProgTree, treeProdProg, prodProgPayloads, 0)
+		s.ProdSortFirst = mustOpen(prodSortTree, treeProdSort, prodSortPayloads, 0)
+		s.ProdProgLast = mustOpen(prodProgTree, treeProdProg, prodProgPayloads, nMem-1)
+		s.ProdSortLast = mustOpen(prodSortTree, treeProdSort, prodSortPayloads, nMem-1)
+	}
+
+	// Sampled checks, in the exact order the verifier will derive.
+	if nRows >= 2 {
+		for _, i := range tr.ChallengeIndices("exec", checks, nRows-1) {
+			c := ExecCheck{
+				RowI: mustOpen(execTree, treeExec, rowPayloads, i),
+				RowJ: mustOpen(execTree, treeExec, rowPayloads, i+1),
+			}
+			lo := ex.Rows[i].MemPtr
+			hi := ex.Rows[i+1].MemPtr
+			for m := lo; m < hi; m++ {
+				c.Mem = append(c.Mem, mustOpen(memProgTree, treeMemProg, memProgPayloads, int(m)))
+			}
+			s.ExecChecks = append(s.ExecChecks, c)
+		}
+	}
+	if nMem >= 2 {
+		for _, i := range tr.ChallengeIndices("prod", checks, nMem-1) {
+			s.ProdChecks = append(s.ProdChecks, ProdCheck{
+				Entry: mustOpen(memProgTree, treeMemProg, memProgPayloads, i+1),
+				ProdI: mustOpen(prodProgTree, treeProdProg, prodProgPayloads, i),
+				ProdJ: mustOpen(prodProgTree, treeProdProg, prodProgPayloads, i+1),
+			})
+		}
+		for _, i := range tr.ChallengeIndices("sort", checks, nMem-1) {
+			s.SortChecks = append(s.SortChecks, SortCheck{
+				EntryI: mustOpen(memSortTree, treeMemSort, memSortPayloads, i),
+				EntryJ: mustOpen(memSortTree, treeMemSort, memSortPayloads, i+1),
+				ProdI:  mustOpen(prodSortTree, treeProdSort, prodSortPayloads, i),
+				ProdJ:  mustOpen(prodSortTree, treeProdSort, prodSortPayloads, i+1),
+			})
+		}
+	}
+	return receipt, nil
+}
+
+// absorbPublic binds the receipt's public statement into the
+// transcript: image ID, exit code, journal, and table lengths.
+func absorbPublic(tr *transcript.Transcript, r *Receipt) {
+	tr.Append("image-id", r.ImageID[:])
+	tr.AppendUint64("exit-code", uint64(r.ExitCode))
+	tr.Append("journal", r.JournalBytes())
+	tr.AppendUint64("num-rows", uint64(r.Seal.NumRows))
+	tr.AppendUint64("num-mem", uint64(r.Seal.NumMem))
+}

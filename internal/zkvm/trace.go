@@ -1,0 +1,220 @@
+package zkvm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"zkflow/internal/field"
+	"zkflow/internal/merkle"
+)
+
+// Serialized sizes of committed leaves.
+const (
+	rowBytes  = 4 + 4*NumRegs + 4 + 4 + 4 // PC, regs, MemPtr, InPtr, JPtr
+	memBytes  = 4 + 4 + 4 + 4 + 1         // Addr, Val, Seq, Step, IsWrite
+	prodBytes = 8                         // one field element
+	saltBytes = 16
+)
+
+// encodeRow serialises a trace row.
+func encodeRow(r *Row) []byte {
+	b := make([]byte, rowBytes)
+	binary.LittleEndian.PutUint32(b[0:], r.PC)
+	for i, v := range r.Regs {
+		binary.LittleEndian.PutUint32(b[4+4*i:], v)
+	}
+	off := 4 + 4*NumRegs
+	binary.LittleEndian.PutUint32(b[off:], r.MemPtr)
+	binary.LittleEndian.PutUint32(b[off+4:], r.InPtr)
+	binary.LittleEndian.PutUint32(b[off+8:], r.JPtr)
+	return b
+}
+
+// decodeRow parses a serialised trace row.
+func decodeRow(b []byte) (Row, error) {
+	var r Row
+	if len(b) != rowBytes {
+		return r, fmt.Errorf("zkvm: row leaf has %d bytes, want %d", len(b), rowBytes)
+	}
+	r.PC = binary.LittleEndian.Uint32(b[0:])
+	for i := range r.Regs {
+		r.Regs[i] = binary.LittleEndian.Uint32(b[4+4*i:])
+	}
+	off := 4 + 4*NumRegs
+	r.MemPtr = binary.LittleEndian.Uint32(b[off:])
+	r.InPtr = binary.LittleEndian.Uint32(b[off+4:])
+	r.JPtr = binary.LittleEndian.Uint32(b[off+8:])
+	return r, nil
+}
+
+// encodeMemEntry serialises a memory-log entry.
+func encodeMemEntry(e *MemEntry) []byte {
+	b := make([]byte, memBytes)
+	binary.LittleEndian.PutUint32(b[0:], e.Addr)
+	binary.LittleEndian.PutUint32(b[4:], e.Val)
+	binary.LittleEndian.PutUint32(b[8:], e.Seq)
+	binary.LittleEndian.PutUint32(b[12:], e.Step)
+	if e.IsWrite {
+		b[16] = 1
+	}
+	return b
+}
+
+// decodeMemEntry parses a serialised memory-log entry.
+func decodeMemEntry(b []byte) (MemEntry, error) {
+	var e MemEntry
+	if len(b) != memBytes {
+		return e, fmt.Errorf("zkvm: mem leaf has %d bytes, want %d", len(b), memBytes)
+	}
+	if b[16] > 1 {
+		return e, fmt.Errorf("zkvm: mem leaf flag byte %d", b[16])
+	}
+	e.Addr = binary.LittleEndian.Uint32(b[0:])
+	e.Val = binary.LittleEndian.Uint32(b[4:])
+	e.Seq = binary.LittleEndian.Uint32(b[8:])
+	e.Step = binary.LittleEndian.Uint32(b[12:])
+	e.IsWrite = b[16] == 1
+	return e, nil
+}
+
+// encodeProd serialises a running-product element.
+func encodeProd(p field.Elem) []byte {
+	b := make([]byte, prodBytes)
+	binary.LittleEndian.PutUint64(b, uint64(p))
+	return b
+}
+
+// decodeProd parses a running-product element.
+func decodeProd(b []byte) (field.Elem, error) {
+	if len(b) != prodBytes {
+		return 0, fmt.Errorf("zkvm: product leaf has %d bytes, want %d", len(b), prodBytes)
+	}
+	v := binary.LittleEndian.Uint64(b)
+	if v >= field.Modulus {
+		return 0, fmt.Errorf("zkvm: non-canonical product element")
+	}
+	return field.Elem(v), nil
+}
+
+// deriveSalt computes the per-leaf blinding salt. Each committed leaf
+// is salted so that unopened leaves reveal nothing about the trace
+// (hiding commitment under SHA-256).
+func deriveSalt(seed *[32]byte, treeLabel byte, index int) [saltBytes]byte {
+	var buf [32 + 1 + 8]byte
+	copy(buf[:32], seed[:])
+	buf[32] = treeLabel
+	binary.LittleEndian.PutUint64(buf[33:], uint64(index))
+	h := sha256.Sum256(buf[:])
+	var salt [saltBytes]byte
+	copy(salt[:], h[:saltBytes])
+	return salt
+}
+
+// saltedLeafHash is the committed hash of (salt || payload).
+func saltedLeafHash(salt [saltBytes]byte, payload []byte) merkle.Hash {
+	buf := make([]byte, 0, saltBytes+len(payload))
+	buf = append(buf, salt[:]...)
+	buf = append(buf, payload...)
+	return merkle.LeafHash(buf)
+}
+
+// Tree labels for salt domain separation.
+const (
+	treeExec byte = iota + 1
+	treeMemProg
+	treeMemSort
+	treeProdProg
+	treeProdSort
+)
+
+// commitLeaves builds a salted Merkle tree over the payloads, hashing
+// leaves in parallel across segments goroutines (the §7 "partition the
+// workload, merge partial proofs" path: each segment's subtree is a
+// partial commitment merged by the upper tree levels).
+func commitLeaves(seed *[32]byte, label byte, payloads [][]byte, segments int) *merkle.Tree {
+	n := len(payloads)
+	hashes := make([]merkle.Hash, n)
+	if segments <= 1 || n < 2*segments {
+		for i, p := range payloads {
+			hashes[i] = saltedLeafHash(deriveSalt(seed, label, i), p)
+		}
+		return merkle.BuildHashes(hashes)
+	}
+	var wg sync.WaitGroup
+	chunk := (n + segments - 1) / segments
+	for s := 0; s < segments; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if lo >= n {
+			break
+		}
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				hashes[i] = saltedLeafHash(deriveSalt(seed, label, i), payloads[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return merkle.BuildHashes(hashes)
+}
+
+// defaultSegments picks the proving fan-out from the host CPU count.
+func defaultSegments() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// sortedMemLog returns the memory log ordered by (Addr, Seq) — the
+// layout the memory-consistency rules are checked on.
+func sortedMemLog(log []MemEntry) []MemEntry {
+	out := make([]MemEntry, len(log))
+	copy(out, log)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// fingerprint maps a memory entry to a field element under the
+// Fiat–Shamir challenge alpha. Two logs are multiset-equal iff the
+// products of (gamma - fingerprint) agree (w.h.p. over alpha, gamma).
+func fingerprint(e *MemEntry, alpha field.Elem) field.Elem {
+	acc := field.New(uint64(e.Addr))
+	a := alpha
+	acc = field.Add(acc, field.Mul(a, field.New(uint64(e.Val))))
+	a = field.Mul(a, alpha)
+	acc = field.Add(acc, field.Mul(a, field.New(uint64(e.Seq))))
+	a = field.Mul(a, alpha)
+	acc = field.Add(acc, field.Mul(a, field.New(uint64(e.Step))))
+	a = field.Mul(a, alpha)
+	if e.IsWrite {
+		acc = field.Add(acc, a)
+	}
+	return acc
+}
+
+// runningProducts returns P with P[i] = prod_{j<=i} (gamma - f(e_j)).
+func runningProducts(log []MemEntry, alpha, gamma field.Elem) []field.Elem {
+	out := make([]field.Elem, len(log))
+	acc := field.One
+	for i := range log {
+		acc = field.Mul(acc, field.Sub(gamma, fingerprint(&log[i], alpha)))
+		out[i] = acc
+	}
+	return out
+}

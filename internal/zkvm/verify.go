@@ -1,0 +1,430 @@
+package zkvm
+
+import (
+	"errors"
+	"fmt"
+
+	"zkflow/internal/field"
+	"zkflow/internal/transcript"
+)
+
+// VerifyOptions configures receipt verification.
+type VerifyOptions struct {
+	// AllowNonZeroExit accepts receipts of aborted guests. Off by
+	// default: a nonzero exit code means an integrity check failed
+	// inside the guest.
+	AllowNonZeroExit bool
+	// MinChecks rejects seals whose sampled-check count is below this
+	// floor. The prover chooses k, so a verifier that cares about a
+	// specific soundness level MUST set this (e.g. DefaultChecks);
+	// zero accepts any k ≥ 1.
+	MinChecks int
+}
+
+// ErrVerify is wrapped by every verification failure.
+var ErrVerify = errors.New("zkvm: receipt verification failed")
+
+func vErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrVerify, fmt.Sprintf(format, args...))
+}
+
+// Verify checks a receipt against the guest program. On success the
+// caller knows (up to the sampled-check soundness bound, see package
+// comment) that running prog over *some* private input produced
+// exactly this journal and exit code.
+func Verify(prog *Program, r *Receipt, opts VerifyOptions) error {
+	if prog.ID() != r.ImageID {
+		return vErr("image ID mismatch: receipt %v, program %v", r.ImageID, prog.ID())
+	}
+	if r.ExitCode != 0 && !opts.AllowNonZeroExit {
+		return vErr("guest exit code %d", r.ExitCode)
+	}
+	s := &r.Seal
+	nRows := int(s.NumRows)
+	nMem := int(s.NumMem)
+	if nRows < 1 {
+		return vErr("empty trace")
+	}
+
+	// Re-derive the Fiat–Shamir challenges from the public statement
+	// and the commitments, in the prover's exact order.
+	tr := transcript.New("zkvm-seal-v1")
+	absorbPublic(tr, r)
+	tr.Append("exec-root", s.ExecRoot[:])
+	tr.Append("memprog-root", s.MemProgRoot[:])
+	tr.Append("memsort-root", s.MemSortRoot[:])
+	alpha := tr.ChallengeElem("alpha")
+	gamma := tr.ChallengeElem("gamma")
+	tr.Append("prodprog-root", s.ProdProgRoot[:])
+	tr.Append("prodsort-root", s.ProdSortRoot[:])
+
+	// --- Boundary checks ---
+	if err := s.FirstRow.verify(s.ExecRoot, 0, rowBytes); err != nil {
+		return vErr("first row: %v", err)
+	}
+	first, err := decodeRow(s.FirstRow.Data)
+	if err != nil {
+		return vErr("first row: %v", err)
+	}
+	if first.PC != 0 || first.MemPtr != 0 || first.InPtr != 0 || first.JPtr != 0 {
+		return vErr("first row not the initial state")
+	}
+	for i, v := range first.Regs {
+		if v != 0 {
+			return vErr("first row register r%d = %d, want 0", i, v)
+		}
+	}
+	if err := s.LastRow.verify(s.ExecRoot, nRows-1, rowBytes); err != nil {
+		return vErr("last row: %v", err)
+	}
+	last, err := decodeRow(s.LastRow.Data)
+	if err != nil {
+		return vErr("last row: %v", err)
+	}
+	if last.PC >= uint32(len(prog.Instrs)) {
+		return vErr("last row pc %d outside program", last.PC)
+	}
+	if prog.Instrs[last.PC].Op != OpHalt {
+		return vErr("last row is not a halt instruction")
+	}
+	if last.Regs[R1] != r.ExitCode {
+		return vErr("exit code %d does not match halting r1 %d", r.ExitCode, last.Regs[R1])
+	}
+	if int(last.JPtr) != len(r.Journal) {
+		return vErr("journal length %d does not match final JPtr %d", len(r.Journal), last.JPtr)
+	}
+	if int(last.MemPtr) != nMem {
+		return vErr("memory log length %d does not match final MemPtr %d", nMem, last.MemPtr)
+	}
+
+	if nMem > 0 {
+		if err := verifyMemBoundary(s, alpha, gamma, nMem); err != nil {
+			return err
+		}
+	}
+
+	// --- Sampled checks ---
+	checks := 0
+	if nRows >= 2 {
+		checks = len(s.ExecChecks)
+		if checks == 0 {
+			return vErr("no execution checks for a %d-row trace", nRows)
+		}
+		if checks < opts.MinChecks {
+			return vErr("seal has %d sampled checks, verifier requires %d", checks, opts.MinChecks)
+		}
+		idxs := tr.ChallengeIndices("exec", checks, nRows-1)
+		for n, i := range idxs {
+			if err := verifyExecCheck(prog, s, &s.ExecChecks[n], i, r.Journal); err != nil {
+				return vErr("exec check %d (row %d): %v", n, i, err)
+			}
+		}
+	} else if len(s.ExecChecks) != 0 {
+		return vErr("unexpected execution checks")
+	}
+
+	if nMem >= 2 {
+		// The prover uses a single k across families; a memory log of
+		// two or more entries implies at least one executed step, so
+		// checks (from the exec family) is the authoritative count.
+		if len(s.ProdChecks) != checks || len(s.SortChecks) != checks {
+			return vErr("inconsistent check counts: exec=%d prod=%d sort=%d",
+				checks, len(s.ProdChecks), len(s.SortChecks))
+		}
+		for n, i := range tr.ChallengeIndices("prod", checks, nMem-1) {
+			if err := verifyProdCheck(s, &s.ProdChecks[n], i, alpha, gamma); err != nil {
+				return vErr("product check %d (entry %d): %v", n, i, err)
+			}
+		}
+		for n, i := range tr.ChallengeIndices("sort", checks, nMem-1) {
+			if err := verifySortCheck(s, &s.SortChecks[n], i, alpha, gamma); err != nil {
+				return vErr("sorted check %d (entry %d): %v", n, i, err)
+			}
+		}
+	} else if len(s.ProdChecks) != 0 || len(s.SortChecks) != 0 {
+		return vErr("unexpected memory checks")
+	}
+	return nil
+}
+
+// verifyMemBoundary checks the always-open memory-log boundary leaves:
+// the first program-order product, the sorted-log first-read rule, and
+// the grand-product equality that establishes multiset equivalence.
+func verifyMemBoundary(s *Seal, alpha, gamma field.Elem, nMem int) error {
+	if err := s.MemProgFirst.verify(s.MemProgRoot, 0, memBytes); err != nil {
+		return vErr("memprog first: %v", err)
+	}
+	e0, err := decodeMemEntry(s.MemProgFirst.Data)
+	if err != nil {
+		return vErr("memprog first: %v", err)
+	}
+	if e0.Seq != 0 {
+		return vErr("first program-order entry has seq %d", e0.Seq)
+	}
+	if err := s.ProdProgFirst.verify(s.ProdProgRoot, 0, prodBytes); err != nil {
+		return vErr("prodprog first: %v", err)
+	}
+	p0, err := decodeProd(s.ProdProgFirst.Data)
+	if err != nil {
+		return vErr("prodprog first: %v", err)
+	}
+	if p0 != field.Sub(gamma, fingerprint(&e0, alpha)) {
+		return vErr("first program-order product incorrect")
+	}
+
+	if err := s.MemSortFirst.verify(s.MemSortRoot, 0, memBytes); err != nil {
+		return vErr("memsort first: %v", err)
+	}
+	s0, err := decodeMemEntry(s.MemSortFirst.Data)
+	if err != nil {
+		return vErr("memsort first: %v", err)
+	}
+	if !s0.IsWrite && s0.Val != 0 {
+		return vErr("first sorted access reads %d from fresh memory", s0.Val)
+	}
+	if err := s.ProdSortFirst.verify(s.ProdSortRoot, 0, prodBytes); err != nil {
+		return vErr("prodsort first: %v", err)
+	}
+	q0, err := decodeProd(s.ProdSortFirst.Data)
+	if err != nil {
+		return vErr("prodsort first: %v", err)
+	}
+	if q0 != field.Sub(gamma, fingerprint(&s0, alpha)) {
+		return vErr("first sorted product incorrect")
+	}
+
+	if err := s.ProdProgLast.verify(s.ProdProgRoot, nMem-1, prodBytes); err != nil {
+		return vErr("prodprog last: %v", err)
+	}
+	if err := s.ProdSortLast.verify(s.ProdSortRoot, nMem-1, prodBytes); err != nil {
+		return vErr("prodsort last: %v", err)
+	}
+	pl, err := decodeProd(s.ProdProgLast.Data)
+	if err != nil {
+		return vErr("prodprog last: %v", err)
+	}
+	ql, err := decodeProd(s.ProdSortLast.Data)
+	if err != nil {
+		return vErr("prodsort last: %v", err)
+	}
+	if pl != ql {
+		return vErr("memory grand products differ: logs are not multiset-equal")
+	}
+	return nil
+}
+
+// replayEnv replays one step's side effects against the opened
+// memory-log entries and the public journal.
+type replayEnv struct {
+	entries  []MemEntry
+	idx      int
+	baseSeq  uint32
+	stepIdx  uint32
+	nextRegs [NumRegs]uint32
+	journal  []uint32
+	jptr     uint32
+}
+
+func (e *replayEnv) next(wantWrite bool, addr uint32) (MemEntry, error) {
+	if e.idx >= len(e.entries) {
+		return MemEntry{}, fmt.Errorf("step needs more memory entries than opened (%d)", len(e.entries))
+	}
+	m := e.entries[e.idx]
+	if m.IsWrite != wantWrite {
+		return MemEntry{}, fmt.Errorf("entry %d direction mismatch", e.idx)
+	}
+	if m.Addr != addr {
+		return MemEntry{}, fmt.Errorf("entry %d address %d, step accesses %d", e.idx, m.Addr, addr)
+	}
+	if m.Seq != e.baseSeq+uint32(e.idx) {
+		return MemEntry{}, fmt.Errorf("entry %d sequence %d, want %d", e.idx, m.Seq, e.baseSeq+uint32(e.idx))
+	}
+	if m.Step != e.stepIdx {
+		return MemEntry{}, fmt.Errorf("entry %d step %d, want %d", e.idx, m.Step, e.stepIdx)
+	}
+	e.idx++
+	return m, nil
+}
+
+func (e *replayEnv) load(addr uint32) (uint32, error) {
+	m, err := e.next(false, addr)
+	if err != nil {
+		return 0, err
+	}
+	return m.Val, nil
+}
+
+func (e *replayEnv) store(addr, val uint32) error {
+	m, err := e.next(true, addr)
+	if err != nil {
+		return err
+	}
+	if m.Val != val {
+		return fmt.Errorf("store of %d logged as %d", val, m.Val)
+	}
+	return nil
+}
+
+// readInput returns the successor row's r1: private-input words are
+// existential witness values, constrained only by the guest's own
+// validation logic.
+func (e *replayEnv) readInput() (uint32, error) { return e.nextRegs[R1], nil }
+
+func (e *replayEnv) inputLen() (uint32, error) { return e.nextRegs[R1], nil }
+
+func (e *replayEnv) writeJournal(val uint32) error {
+	if int(e.jptr) >= len(e.journal) {
+		return fmt.Errorf("journal write beyond published journal")
+	}
+	if e.journal[e.jptr] != val {
+		return fmt.Errorf("journal word %d is %d, step wrote %d", e.jptr, e.journal[e.jptr], val)
+	}
+	e.jptr++
+	return nil
+}
+
+// verifyExecCheck re-executes the transition rowIdx -> rowIdx+1.
+func verifyExecCheck(prog *Program, s *Seal, c *ExecCheck, rowIdx int, journal []uint32) error {
+	if err := c.RowI.verify(s.ExecRoot, rowIdx, rowBytes); err != nil {
+		return err
+	}
+	if err := c.RowJ.verify(s.ExecRoot, rowIdx+1, rowBytes); err != nil {
+		return err
+	}
+	rowI, err := decodeRow(c.RowI.Data)
+	if err != nil {
+		return err
+	}
+	rowJ, err := decodeRow(c.RowJ.Data)
+	if err != nil {
+		return err
+	}
+	for n := range c.Mem {
+		if err := c.Mem[n].verify(s.MemProgRoot, int(rowI.MemPtr)+n, memBytes); err != nil {
+			return fmt.Errorf("mem opening %d: %v", n, err)
+		}
+	}
+	entries := make([]MemEntry, len(c.Mem))
+	for n := range c.Mem {
+		if entries[n], err = decodeMemEntry(c.Mem[n].Data); err != nil {
+			return err
+		}
+	}
+	env := &replayEnv{
+		entries:  entries,
+		baseSeq:  rowI.MemPtr,
+		stepIdx:  uint32(rowIdx),
+		nextRegs: rowJ.Regs,
+		journal:  journal,
+		jptr:     rowI.JPtr,
+	}
+	nextPC, nextRegs, counts, halted, err := step(prog, &rowI, env)
+	if err != nil {
+		return fmt.Errorf("replay: %v", err)
+	}
+	if halted {
+		return fmt.Errorf("halt before the final row")
+	}
+	if env.idx != len(entries) {
+		return fmt.Errorf("%d opened memory entries, step consumed %d", len(entries), env.idx)
+	}
+	if nextPC != rowJ.PC {
+		return fmt.Errorf("next pc %d, trace has %d", nextPC, rowJ.PC)
+	}
+	if nextRegs != rowJ.Regs {
+		return fmt.Errorf("register file mismatch after step")
+	}
+	if rowJ.MemPtr != rowI.MemPtr+counts.mem {
+		return fmt.Errorf("MemPtr %d, want %d", rowJ.MemPtr, rowI.MemPtr+counts.mem)
+	}
+	if rowJ.InPtr != rowI.InPtr+counts.in {
+		return fmt.Errorf("InPtr %d, want %d", rowJ.InPtr, rowI.InPtr+counts.in)
+	}
+	if rowJ.JPtr != rowI.JPtr+counts.journal {
+		return fmt.Errorf("JPtr %d, want %d", rowJ.JPtr, rowI.JPtr+counts.journal)
+	}
+	return nil
+}
+
+// verifyProdCheck checks one program-order running-product step:
+// P[i+1] = P[i] * (gamma - f(e[i+1])).
+func verifyProdCheck(s *Seal, c *ProdCheck, i int, alpha, gamma field.Elem) error {
+	if err := c.Entry.verify(s.MemProgRoot, i+1, memBytes); err != nil {
+		return err
+	}
+	if err := c.ProdI.verify(s.ProdProgRoot, i, prodBytes); err != nil {
+		return err
+	}
+	if err := c.ProdJ.verify(s.ProdProgRoot, i+1, prodBytes); err != nil {
+		return err
+	}
+	e, err := decodeMemEntry(c.Entry.Data)
+	if err != nil {
+		return err
+	}
+	if e.Seq != uint32(i+1) {
+		return fmt.Errorf("program-order entry %d has seq %d", i+1, e.Seq)
+	}
+	pi, err := decodeProd(c.ProdI.Data)
+	if err != nil {
+		return err
+	}
+	pj, err := decodeProd(c.ProdJ.Data)
+	if err != nil {
+		return err
+	}
+	if pj != field.Mul(pi, field.Sub(gamma, fingerprint(&e, alpha))) {
+		return fmt.Errorf("product step incorrect")
+	}
+	return nil
+}
+
+// verifySortCheck checks sorted-log adjacency i, i+1: ordering,
+// read-consistency, and the sorted running-product step.
+func verifySortCheck(s *Seal, c *SortCheck, i int, alpha, gamma field.Elem) error {
+	if err := c.EntryI.verify(s.MemSortRoot, i, memBytes); err != nil {
+		return err
+	}
+	if err := c.EntryJ.verify(s.MemSortRoot, i+1, memBytes); err != nil {
+		return err
+	}
+	if err := c.ProdI.verify(s.ProdSortRoot, i, prodBytes); err != nil {
+		return err
+	}
+	if err := c.ProdJ.verify(s.ProdSortRoot, i+1, prodBytes); err != nil {
+		return err
+	}
+	ei, err := decodeMemEntry(c.EntryI.Data)
+	if err != nil {
+		return err
+	}
+	ej, err := decodeMemEntry(c.EntryJ.Data)
+	if err != nil {
+		return err
+	}
+	switch {
+	case ej.Addr < ei.Addr:
+		return fmt.Errorf("sorted log out of address order")
+	case ej.Addr == ei.Addr && ej.Seq <= ei.Seq:
+		return fmt.Errorf("sorted log out of sequence order")
+	}
+	if ej.Addr == ei.Addr {
+		if !ej.IsWrite && ej.Val != ei.Val {
+			return fmt.Errorf("read of %d sees %d, last access was %d", ej.Addr, ej.Val, ei.Val)
+		}
+	} else if !ej.IsWrite && ej.Val != 0 {
+		return fmt.Errorf("first access to %d reads %d from fresh memory", ej.Addr, ej.Val)
+	}
+	pi, err := decodeProd(c.ProdI.Data)
+	if err != nil {
+		return err
+	}
+	pj, err := decodeProd(c.ProdJ.Data)
+	if err != nil {
+		return err
+	}
+	if pj != field.Mul(pi, field.Sub(gamma, fingerprint(&ej, alpha))) {
+		return fmt.Errorf("sorted product step incorrect")
+	}
+	return nil
+}
