@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race bench bench-parallel verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race lane: the packages that fan work out across goroutines — the
+# prover worker pool, the epoch pipeline, and the HTTP layer.
+race:
+	$(GO) test -race ./internal/zkvm ./internal/core ./internal/api ./internal/merkle
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# The worker-pool / pipeline benchmarks behind the determinism tests.
+bench-parallel:
+	$(GO) test -bench='ProveParallel|PipelinedAggregation' -run=^$$ .
+
+verify: build test race

@@ -6,17 +6,22 @@ package zkflow_test
 // variants default to a ladder that keeps `go test -bench=.` fast.
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"zkflow/internal/clog"
+	"zkflow/internal/core"
 	"zkflow/internal/fastagg"
 	"zkflow/internal/gperm"
 	"zkflow/internal/guest"
 	"zkflow/internal/ledger"
 	"zkflow/internal/merkle"
 	"zkflow/internal/query"
+	"zkflow/internal/router"
 	"zkflow/internal/stark"
+	"zkflow/internal/store"
 	"zkflow/internal/trafficgen"
 	"zkflow/internal/vmtree"
 	"zkflow/internal/zkvm"
@@ -139,6 +144,64 @@ func BenchmarkSegmentedProving(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkProveParallel measures the prover's worker pool: the same
+// single-segment aggregation proof at pool widths 1 (fully serial),
+// 2, 4, and GOMAXPROCS. Receipts are byte-identical at every width
+// (asserted by TestParallelProveDeterminism); this benchmark shows the
+// wall-clock side of that trade.
+func BenchmarkProveParallel(b *testing.B) {
+	in := genesisInput(5, 1000)
+	words := in.Words()
+	widths := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		widths = append(widths, n)
+	}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("parallelism=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := zkvm.Prove(guest.AggregationProgram(), words, zkvm.ProveOptions{Parallelism: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelinedAggregation measures the epoch pipeline end to
+// end: a 4-epoch chain aggregated serially vs. with witness/seal
+// overlap (core.Scheduler). The pipelined chain is journal-identical
+// to the serial one (asserted by TestSchedulerChainMatchesSerial).
+func BenchmarkPipelinedAggregation(b *testing.B) {
+	const epochs = 4
+	run := func(b *testing.B, depth int) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st := store.Open(0)
+			lg := ledger.New()
+			sim := router.NewSim(trafficgen.Config{
+				Seed: 21, NumFlows: 192, Routers: 4, LossRate: 0.02,
+			}, st, lg)
+			if err := sim.RunEpochs(context.Background(), 0, epochs, 64); err != nil {
+				b.Fatal(err)
+			}
+			p := core.NewProver(st, lg, core.Options{Checks: 16, PipelineDepth: depth})
+			b.StartTimer()
+			if depth == 0 {
+				for e := uint64(0); e < epochs; e++ {
+					if _, err := p.AggregateEpoch(e); err != nil {
+						b.Fatal(err)
+					}
+				}
+			} else if _, err := p.AggregateEpochs([]uint64{0, 1, 2, 3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 0) })
+	b.Run("depth=2", func(b *testing.B) { run(b, 2) })
+	b.Run("depth=3", func(b *testing.B) { run(b, 3) })
 }
 
 // BenchmarkFastAggVsZKVM is E6/§7 specialized proving: hashes per

@@ -4,7 +4,8 @@
 //	-exp fig4         Figure 4: proof generation latency vs. #records
 //	-exp table1       Table 1: proof/journal/receipt sizes
 //	-exp tamper       §6 tamper experiment
-//	-exp parallel     §7 proof parallelization (segment fan-out)
+//	-exp parallel     §7 proof parallelization (segment + worker-pool fan-out)
+//	-exp pipeline     epoch pipelining (witness N+1 overlaps seal N)
 //	-exp specialized  §7 specialized prover vs. zkVM hash throughput
 //	-exp all          everything above
 //
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,13 +24,16 @@ import (
 	"time"
 
 	"zkflow/internal/clog"
+	"zkflow/internal/core"
 	"zkflow/internal/fastagg"
 	"zkflow/internal/gperm"
 	"zkflow/internal/guest"
 	"zkflow/internal/ledger"
 	"zkflow/internal/netflow"
 	"zkflow/internal/query"
+	"zkflow/internal/router"
 	"zkflow/internal/stark"
+	"zkflow/internal/store"
 	"zkflow/internal/trafficgen"
 	"zkflow/internal/vmtree"
 	"zkflow/internal/zkvm"
@@ -197,6 +202,79 @@ func expParallel(checks int) {
 		fmt.Printf("%10d  %12.0f ms  %7.2fx\n", segs, d, base/d)
 	}
 	fmt.Println()
+
+	// Worker-pool width: the same single-segment proof with the
+	// prover's internal table/tree commitment work fanned out.
+	fmt.Printf("%11s  %14s  %8s  (single segment)\n", "parallelism", "agg proof", "speedup")
+	base = 0
+	for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		t0 := time.Now()
+		_, err := zkvm.Prove(guest.AggregationProgram(), words, zkvm.ProveOptions{Checks: checks, Parallelism: w})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := ms(time.Since(t0))
+		if base == 0 {
+			base = d
+		}
+		fmt.Printf("%11d  %12.0f ms  %7.2fx\n", w, d, base/d)
+	}
+	fmt.Println()
+}
+
+// expPipeline measures the epoch pipeline: the same multi-epoch chain
+// aggregated serially vs. through a Scheduler that overlaps witness
+// generation with sealing.
+func expPipeline(checks int) {
+	fmt.Println("=== E7: epoch pipelining (witness N+1 overlaps seal N) ===")
+	const epochs, records = 6, 400
+	run := func(depth int) (time.Duration, error) {
+		st := store.Open(0)
+		lg := ledger.New()
+		sim := router.NewSim(trafficgen.Config{
+			Seed: 21, NumFlows: 256, Routers: 4, LossRate: 0.02,
+		}, st, lg)
+		if err := sim.RunEpochs(context.Background(), 0, epochs, records/4); err != nil {
+			return 0, err
+		}
+		p := core.NewProver(st, lg, core.Options{Checks: checks, PipelineDepth: depth})
+		list := make([]uint64, epochs)
+		for i := range list {
+			list[i] = uint64(i)
+		}
+		t0 := time.Now()
+		if depth == 0 {
+			for _, e := range list {
+				if _, err := p.AggregateEpoch(e); err != nil {
+					return 0, err
+				}
+			}
+		} else if _, err := p.AggregateEpochs(list); err != nil {
+			return 0, err
+		}
+		return time.Since(t0), nil
+	}
+	if _, err := run(0); err != nil { // warm-up
+		log.Fatal(err)
+	}
+	fmt.Printf("%8s  %16s  %8s   (%d epochs x %d records)\n", "depth", "chain time", "speedup", epochs, records)
+	var base float64
+	for _, depth := range []int{0, 1, 2, 3} {
+		d, err := run(depth)
+		if err != nil {
+			log.Fatalf("depth %d: %v", depth, err)
+		}
+		t := ms(d)
+		if base == 0 {
+			base = t
+		}
+		label := "serial"
+		if depth > 0 {
+			label = fmt.Sprintf("%d", depth)
+		}
+		fmt.Printf("%8s  %14.0f ms  %7.2fx\n", label, t, base/t)
+	}
+	fmt.Println()
 }
 
 func expSpecialized(checks int) {
@@ -291,7 +369,7 @@ func kb(n int) float64           { return float64(n) / 1024 }
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|specialized|profile|all")
+		exp    = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|all")
 		checks = flag.Int("checks", zkvm.DefaultChecks, "zkVM sampled checks per proof")
 		csv    = flag.String("csv", "", "write the Figure 4 series as CSV to this path")
 	)
@@ -308,6 +386,8 @@ func main() {
 		expTamper(*checks)
 	case "parallel":
 		expParallel(*checks)
+	case "pipeline":
+		expPipeline(*checks)
 	case "specialized":
 		expSpecialized(*checks)
 	case "profile":
@@ -317,6 +397,7 @@ func main() {
 		expTable1(*checks)
 		expTamper(*checks)
 		expParallel(*checks)
+		expPipeline(*checks)
 		expSpecialized(*checks)
 		expProfile()
 	default:

@@ -12,10 +12,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"time"
 
@@ -27,21 +27,23 @@ func main() {
 	var (
 		serverURL = flag.String("server", "http://127.0.0.1:8471", "zkflowd base URL")
 		sql       = flag.String("query", "", "SQL query to prove and verify (optional)")
-		timeout   = flag.Duration("timeout", 2*time.Minute, "HTTP timeout")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request HTTP timeout")
 		stateFile = flag.String("state", "", "auditor state file: resume a verified chain and persist progress")
 	)
 	flag.Parse()
 	log.SetFlags(0)
-	client := api.NewClient(*serverURL, &http.Client{Timeout: *timeout})
+	ctx := context.Background()
+	client := api.NewClient(*serverURL, nil)
+	client.SetRequestTimeout(*timeout)
 
-	status, err := client.Status()
+	status, err := client.Status(ctx)
 	if err != nil {
 		log.Fatalf("status: %v", err)
 	}
 	fmt.Printf("operator: %d rounds aggregated, %d ledger commitments\n", status.Rounds, status.LedgerLen)
 
 	// 1. Download + chain-verify the public commitment ledger.
-	lg, err := client.Ledger()
+	lg, err := client.Ledger(ctx)
 	if err != nil {
 		log.Fatalf("ledger chain INVALID: %v", err)
 	}
@@ -62,7 +64,7 @@ func main() {
 		}
 	}
 	for round := verifier.Rounds(); round < status.Rounds; round++ {
-		receipt, err := client.AggregationReceipt(round)
+		receipt, err := client.AggregationReceipt(ctx, round)
 		if err != nil {
 			log.Fatalf("receipt %d: %v", round, err)
 		}
@@ -95,7 +97,7 @@ func main() {
 	if *sql == "" {
 		return
 	}
-	qres, receipt, err := client.Query(*sql)
+	qres, receipt, err := client.Query(ctx, *sql)
 	if err != nil {
 		log.Fatalf("query: %v", err)
 	}

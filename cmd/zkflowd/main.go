@@ -36,6 +36,8 @@ func main() {
 		flows    = flag.Int("flows", 256, "flow population size")
 		loss     = flag.Float64("loss", 0.02, "packet loss rate")
 		worker   = flag.String("worker", "", "off-path proving worker URL (empty = prove locally)")
+		pipeline = flag.Int("pipeline", 0, "pipeline depth: overlap witness generation with up to N in-flight seals (0 = serial)")
+		workers  = flag.Int("parallelism", 0, "prover worker-pool width (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -44,13 +46,19 @@ func main() {
 	sim := router.NewSim(trafficgen.Config{
 		Seed: *seed, NumFlows: *flows, Routers: *routers, LossRate: *loss,
 	}, st, lg)
-	opts := core.Options{Checks: *checks}
+	opts := core.Options{Checks: *checks, Parallelism: *workers, PipelineDepth: *pipeline}
 	if *worker != "" {
 		opts.Prove = remote.NewClient(*worker, nil).Prove
 		log.Printf("proving off-path via %s", *worker)
 	}
 	prover := core.NewProver(st, lg, opts)
 	srv := api.NewServer(prover, lg)
+
+	logRound := func(res *core.AggregationResult, d time.Duration) {
+		log.Printf("epoch %d: %d records -> %d flows, proof %.0f ms, receipt %d B, root %v",
+			res.Epoch, res.Journal.NumRecords, res.Journal.NewCount,
+			d.Seconds()*1000, res.Receipt.Size(), res.Journal.NewRoot.Bytes())
+	}
 
 	runEpoch := func(epoch uint64) error {
 		if _, err := sim.RunEpoch(context.Background(), epoch, *records); err != nil {
@@ -64,13 +72,59 @@ func main() {
 		if err := srv.AddAggregation(res.Receipt); err != nil {
 			return err
 		}
-		log.Printf("epoch %d: %d records -> %d flows, proof %.0f ms, receipt %d B, root %v",
-			epoch, res.Journal.NumRecords, res.Journal.NewCount,
-			time.Since(t0).Seconds()*1000, res.Receipt.Size(), res.Journal.NewRoot.Bytes())
+		logRound(res, time.Since(t0))
 		return nil
 	}
 
+	// runPipelined overlaps collection + witness generation with proof
+	// sealing: the Scheduler commits rounds in strict epoch order, so
+	// the served receipt chain is identical to the serial one.
+	runPipelined := func() {
+		sched, err := core.NewScheduler(prover, *pipeline)
+		if err != nil {
+			log.Printf("pipeline: %v", err)
+			return
+		}
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			t0 := time.Now()
+			for r := range sched.Results() {
+				if r.Err != nil {
+					log.Printf("epoch %d failed: %v", r.Epoch, r.Err)
+					continue
+				}
+				if err := srv.AddAggregation(r.Result.Receipt); err != nil {
+					log.Printf("epoch %d: serving receipt: %v", r.Epoch, err)
+					continue
+				}
+				logRound(r.Result, time.Since(t0))
+				t0 = time.Now()
+			}
+		}()
+		for epoch := uint64(0); ; epoch++ {
+			if _, err := sim.RunEpoch(context.Background(), epoch, *records); err != nil {
+				log.Printf("epoch %d collection failed: %v", epoch, err)
+				break
+			}
+			sched.Submit(epoch)
+			if *epochs > 0 && epoch+1 >= uint64(*epochs) {
+				break
+			}
+			if *epochs == 0 {
+				time.Sleep(*interval)
+			}
+		}
+		sched.Close()
+		<-drained
+		log.Printf("pipeline drained after %d rounds; serving", prover.Round())
+	}
+
 	go func() {
+		if *pipeline > 0 {
+			runPipelined()
+			return
+		}
 		for epoch := uint64(0); ; epoch++ {
 			if err := runEpoch(epoch); err != nil {
 				log.Printf("epoch %d failed: %v", epoch, err)

@@ -3,6 +3,13 @@
 // public artifacts — status, the commitment ledger, aggregation
 // receipts, and proven query responses — and the client retrieves and
 // re-verifies them. Raw telemetry never crosses this boundary.
+//
+// The surface is versioned under /api/v1. Every v1 failure returns a
+// JSON error envelope {"error":{"code":...,"message":...}} with an
+// appropriate status code, and every route enforces its method. The
+// unversioned /api/* routes are thin deprecated aliases kept for
+// pre-v1 clients; they serve the legacy response shapes and advertise
+// their successor via a Deprecation header.
 package api
 
 import (
@@ -28,7 +35,7 @@ type Status struct {
 	LatestRoot string `json:"latest_root,omitempty"`
 }
 
-// QueryRequest is the body of POST /api/query.
+// QueryRequest is the body of POST /api/v1/query.
 type QueryRequest struct {
 	SQL string `json:"sql"`
 }
@@ -43,6 +50,41 @@ type QueryResponse struct {
 	Avg     float64 `json:"avg"`
 	Receipt string  `json:"receipt"` // base64 zkvm receipt
 }
+
+// LedgerPage is one page of GET /api/v1/ledger: Total lets auditors
+// sync large ledgers incrementally.
+type LedgerPage struct {
+	Total   int                 `json:"total"`
+	Offset  int                 `json:"offset"`
+	Limit   int                 `json:"limit"`
+	Entries []ledger.Commitment `json:"entries"`
+}
+
+// Ledger pagination bounds.
+const (
+	DefaultLedgerPageLimit = 512
+	MaxLedgerPageLimit     = 4096
+)
+
+// Error is the machine-readable error document inside the envelope.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the v1 failure body: {"error":{"code","message"}}.
+type ErrorEnvelope struct {
+	Error Error `json:"error"`
+}
+
+// Stable v1 error codes.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeInvalidQuery     = "invalid_query"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeNotFound         = "not_found"
+	CodeInternal         = "internal"
+)
 
 // Server serves the operator's public artifacts.
 type Server struct {
@@ -70,17 +112,51 @@ func (s *Server) AddAggregation(r *zkvm.Receipt) error {
 	return nil
 }
 
-// Handler returns the HTTP handler.
+// Handler returns the HTTP handler: the v1 surface plus the
+// deprecated unversioned aliases.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/status", s.handleStatus)
-	mux.HandleFunc("/api/ledger", s.handleLedger)
-	mux.HandleFunc("/api/receipts/agg/", s.handleReceipt)
-	mux.HandleFunc("/api/query", s.handleQuery)
+	// Versioned surface.
+	mux.HandleFunc("/api/v1/status", method(http.MethodGet, s.handleStatus))
+	mux.HandleFunc("/api/v1/ledger", method(http.MethodGet, s.handleLedgerV1))
+	mux.HandleFunc("/api/v1/receipts/agg/", method(http.MethodGet, s.handleReceipt))
+	mux.HandleFunc("/api/v1/query", method(http.MethodPost, s.handleQuery))
+	mux.HandleFunc("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such endpoint: "+r.URL.Path)
+	})
+	// Deprecated aliases (pre-v1 paths and response shapes).
+	mux.HandleFunc("/api/status", deprecated("/api/v1/status", method(http.MethodGet, s.handleStatus)))
+	mux.HandleFunc("/api/ledger", deprecated("/api/v1/ledger", method(http.MethodGet, s.handleLedgerLegacy)))
+	mux.HandleFunc("/api/receipts/agg/", deprecated("/api/v1/receipts/agg/", method(http.MethodGet, s.handleReceipt)))
+	mux.HandleFunc("/api/query", deprecated("/api/v1/query", method(http.MethodPost, s.handleQuery)))
 	return mux
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+// method wraps a handler with method enforcement; mismatches get the
+// v1 error envelope and an Allow header.
+func method(want string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != want {
+			w.Header().Set("Allow", want)
+			writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+				fmt.Sprintf("%s requires %s", r.URL.Path, want))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// deprecated marks a legacy alias with the standard Deprecation
+// header and a pointer to its v1 successor.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+func (s *Server) status() Status {
 	s.mu.RLock()
 	rounds := len(s.receipts)
 	s.mu.RUnlock()
@@ -89,47 +165,81 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	if hist := s.prover.History(); len(hist) > 0 {
 		st.LatestRoot = fmt.Sprintf("%x", hist[len(hist)-1].Journal.NewRoot.Bytes())
 	}
-	writeJSON(w, st)
+	return st
 }
 
-func (s *Server) handleLedger(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.status())
+}
+
+// handleLedgerV1 serves one page of the commitment ledger.
+func (s *Server) handleLedgerV1(w http.ResponseWriter, r *http.Request) {
+	offset, ok := queryInt(w, r, "offset", 0)
+	if !ok {
+		return
+	}
+	limit, ok := queryInt(w, r, "limit", DefaultLedgerPageLimit)
+	if !ok {
+		return
+	}
+	if offset < 0 || limit < 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "offset and limit must be non-negative")
+		return
+	}
+	if limit == 0 || limit > MaxLedgerPageLimit {
+		limit = MaxLedgerPageLimit
+	}
+	entries := s.ledger.Entries()
+	page := LedgerPage{Total: len(entries), Offset: offset, Limit: limit, Entries: []ledger.Commitment{}}
+	if offset < len(entries) {
+		hi := offset + limit
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		page.Entries = entries[offset:hi]
+	}
+	writeJSON(w, page)
+}
+
+// handleLedgerLegacy serves the whole ledger as the pre-v1 bare array.
+func (s *Server) handleLedgerLegacy(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.ledger.Entries())
 }
 
 func (s *Server) handleReceipt(w http.ResponseWriter, r *http.Request) {
-	n, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/api/receipts/agg/"))
+	path := r.URL.Path
+	idx := strings.LastIndex(path, "/receipts/agg/")
+	n, err := strconv.Atoi(path[idx+len("/receipts/agg/"):])
 	if err != nil {
-		http.Error(w, "bad round index", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "round index must be an integer")
 		return
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if n < 0 || n >= len(s.receipts) {
-		http.Error(w, "round not aggregated yet", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("round %d not aggregated yet", n))
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(s.receipts[n])
+	if _, err := w.Write(s.receipts[n]); err != nil {
+		log.Printf("api: writing receipt %d: %v", n, err)
+	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
 	var req QueryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
-		http.Error(w, "bad request body", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "malformed request body")
 		return
 	}
 	qr, err := s.prover.Query(req.SQL)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidQuery, err.Error())
 		return
 	}
 	bin, err := qr.Receipt.MarshalBinary()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	writeJSON(w, QueryResponse{
@@ -141,9 +251,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// queryInt parses an optional integer query parameter, writing a 400
+// envelope and returning ok=false when it is present but malformed.
+func queryInt(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, name+" must be an integer")
+		return 0, false
+	}
+	return v, true
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		log.Printf("api: encoding response: %v", err)
+	}
+}
+
+// writeError emits the v1 JSON error envelope.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(ErrorEnvelope{Error: Error{Code: code, Message: msg}}); err != nil {
+		log.Printf("api: encoding error envelope: %v", err)
 	}
 }

@@ -2,8 +2,10 @@ package api
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -42,8 +44,9 @@ func newTestServer(t *testing.T, epochs int) (*httptest.Server, *Server) {
 func TestFullRemoteAuditFlow(t *testing.T) {
 	ts, _ := newTestServer(t, 2)
 	c := NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
 
-	st, err := c.Status()
+	st, err := c.Status(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,13 +54,13 @@ func TestFullRemoteAuditFlow(t *testing.T) {
 		t.Fatalf("status: %+v", st)
 	}
 
-	lg, err := c.Ledger()
+	lg, err := c.Ledger(ctx)
 	if err != nil {
 		t.Fatalf("ledger: %v", err)
 	}
 	verifier := core.NewVerifier(lg)
 	for round := 0; round < st.Rounds; round++ {
-		receipt, err := c.AggregationReceipt(round)
+		receipt, err := c.AggregationReceipt(ctx, round)
 		if err != nil {
 			t.Fatalf("receipt %d: %v", round, err)
 		}
@@ -67,7 +70,7 @@ func TestFullRemoteAuditFlow(t *testing.T) {
 	}
 
 	sql := "SELECT COUNT(*) FROM clogs;"
-	qres, receipt, err := c.Query(sql)
+	qres, receipt, err := c.Query(ctx, sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,30 +86,220 @@ func TestFullRemoteAuditFlow(t *testing.T) {
 func TestQueryRejectsBadSQL(t *testing.T) {
 	ts, _ := newTestServer(t, 1)
 	c := NewClient(ts.URL, ts.Client())
-	if _, _, err := c.Query("SELECT NONSENSE"); err == nil {
+	if _, _, err := c.Query(context.Background(), "SELECT NONSENSE"); err == nil {
 		t.Fatal("bad SQL accepted")
 	}
 }
 
 func TestQueryRejectsGet(t *testing.T) {
 	ts, _ := newTestServer(t, 1)
-	resp, err := ts.Client().Get(ts.URL + "/api/query")
+	for _, path := range []string{"/api/query", "/api/v1/query"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// decodeEnvelope asserts the response carries the v1 error envelope
+// with the expected code.
+func decodeEnvelope(t *testing.T, resp *http.Response, wantStatus int, wantCode string) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("status %d, want %d", resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error Content-Type %q", ct)
+	}
+	var env ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("error body is not an envelope: %v", err)
+	}
+	if env.Error.Code != wantCode {
+		t.Fatalf("code %q, want %q", env.Error.Code, wantCode)
+	}
+	if env.Error.Message == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+// TestV1MethodNotAllowed covers the 405 path on every v1 route.
+func TestV1MethodNotAllowed(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodPost, "/api/v1/status"},
+		{http.MethodPost, "/api/v1/ledger"},
+		{http.MethodPost, "/api/v1/receipts/agg/0"},
+		{http.MethodGet, "/api/v1/query"},
+		{http.MethodDelete, "/api/status"},
+		{http.MethodPut, "/api/ledger"},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if allow := resp.Header.Get("Allow"); allow == "" {
+			t.Fatalf("%s %s: missing Allow header", tc.method, tc.path)
+		}
+		decodeEnvelope(t, resp, http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+	}
+}
+
+// TestV1NotFound covers the 404 paths: unknown endpoint and
+// out-of-range round, both enveloped.
+func TestV1NotFound(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	resp, err := ts.Client().Get(ts.URL + "/api/v1/nonsense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeEnvelope(t, resp, http.StatusNotFound, CodeNotFound)
+
+	resp, err = ts.Client().Get(ts.URL + "/api/v1/receipts/agg/99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeEnvelope(t, resp, http.StatusNotFound, CodeNotFound)
+}
+
+// TestV1BadRequest covers the 400 paths: non-integer round, malformed
+// pagination, bad query body.
+func TestV1BadRequest(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	for _, path := range []string{
+		"/api/v1/receipts/agg/notanumber",
+		"/api/v1/ledger?offset=x",
+		"/api/v1/ledger?limit=y",
+		"/api/v1/ledger?offset=-1",
+	} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeEnvelope(t, resp, http.StatusBadRequest, CodeBadRequest)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/api/v1/query", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeEnvelope(t, resp, http.StatusBadRequest, CodeBadRequest)
+	resp, err = ts.Client().Post(ts.URL+"/api/v1/query", "application/json", strings.NewReader(`{"sql":"SELECT NONSENSE"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeEnvelope(t, resp, http.StatusBadRequest, CodeInvalidQuery)
+}
+
+// TestLedgerPagination pages a 4-commitment ledger one entry at a
+// time, both raw and through the client.
+func TestLedgerPagination(t *testing.T) {
+	ts, _ := newTestServer(t, 2) // 2 epochs x 2 routers = 4 commitments
+	var total []ledger.Commitment
+	for offset := 0; ; offset++ {
+		resp, err := ts.Client().Get(ts.URL + "/api/v1/ledger?offset=" + strconv.Itoa(offset) + "&limit=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var page LedgerPage
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if page.Total != 4 || page.Limit != 1 || page.Offset != offset {
+			t.Fatalf("page meta: %+v", page)
+		}
+		if len(page.Entries) == 0 {
+			break
+		}
+		if len(page.Entries) != 1 {
+			t.Fatalf("page size %d", len(page.Entries))
+		}
+		total = append(total, page.Entries...)
+		if offset > 8 {
+			t.Fatal("runaway pagination")
+		}
+	}
+	if len(total) != 4 {
+		t.Fatalf("paged %d entries", len(total))
+	}
+	// The paged entries chain-verify.
+	if _, err := ledger.FromEntries(total); err != nil {
+		t.Fatal(err)
+	}
+	// The client pages transparently and still verifies the chain.
+	c := NewClient(ts.URL, ts.Client())
+	c.SetLedgerPageSize(1)
+	lg, err := c.Ledger(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, n := lg.Head(); n != 4 {
+		t.Fatalf("client synced %d entries", n)
+	}
+}
+
+// TestLegacyAliases checks the unversioned paths still serve the
+// pre-v1 shapes and are marked deprecated.
+func TestLegacyAliases(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	resp, err := ts.Client().Get(ts.URL + "/api/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("alias not marked deprecated")
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Rounds != 1 {
+		t.Fatalf("status via alias: %+v", st)
+	}
+
+	// Legacy ledger: bare array, not a page envelope.
+	resp, err = ts.Client().Get(ts.URL + "/api/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []ledger.Commitment
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(entries) != 2 {
+		t.Fatalf("alias ledger has %d entries", len(entries))
+	}
+
+	// Legacy receipt path still serves bytes.
+	resp, err = ts.Client().Get(ts.URL + "/api/receipts/agg/0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("status %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alias receipt status %d", resp.StatusCode)
 	}
 }
 
 func TestReceiptNotFound(t *testing.T) {
 	ts, _ := newTestServer(t, 1)
 	c := NewClient(ts.URL, ts.Client())
-	if _, err := c.AggregationReceipt(5); err == nil {
+	ctx := context.Background()
+	if _, err := c.AggregationReceipt(ctx, 5); err == nil {
 		t.Fatal("missing receipt served")
 	}
-	if _, err := c.AggregationReceipt(-1); err == nil {
+	if _, err := c.AggregationReceipt(ctx, -1); err == nil {
 		t.Fatal("negative round served")
 	}
 	resp, err := ts.Client().Get(ts.URL + "/api/receipts/agg/notanumber")
@@ -122,13 +315,25 @@ func TestReceiptNotFound(t *testing.T) {
 func TestOversizeQueryBodyRejected(t *testing.T) {
 	ts, _ := newTestServer(t, 1)
 	big := `{"sql": "` + strings.Repeat("x", 1<<17) + `"}`
-	resp, err := ts.Client().Post(ts.URL+"/api/query", "application/json", strings.NewReader(big))
-	if err != nil {
-		t.Fatal(err)
+	for _, path := range []string{"/api/query", "/api/v1/query"} {
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("%s: oversize body accepted", path)
+		}
 	}
-	resp.Body.Close()
-	if resp.StatusCode == http.StatusOK {
-		t.Fatal("oversize body accepted")
+}
+
+func TestCancelledContext(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	c := NewClient(ts.URL, ts.Client())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Status(ctx); err == nil {
+		t.Fatal("cancelled context succeeded")
 	}
 }
 
@@ -140,12 +345,13 @@ func TestTamperedServedReceiptCaughtByClientVerifier(t *testing.T) {
 	srv.receipts[0][60] ^= 0xff
 	srv.mu.Unlock()
 	c := NewClient(ts.URL, ts.Client())
-	lg, err := c.Ledger()
+	ctx := context.Background()
+	lg, err := c.Ledger(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	verifier := core.NewVerifier(lg)
-	receipt, err := c.AggregationReceipt(0)
+	receipt, err := c.AggregationReceipt(ctx, 0)
 	if err == nil {
 		_, err = verifier.VerifyAggregation(receipt)
 	}

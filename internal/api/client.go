@@ -2,21 +2,32 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"zkflow/internal/ledger"
 	"zkflow/internal/zkvm"
 )
 
-// Client talks to a zkflowd server. The zero value is not usable;
-// call NewClient.
+// DefaultRequestTimeout bounds each HTTP request issued by the client
+// when the caller's context carries no deadline of its own.
+const DefaultRequestTimeout = 2 * time.Minute
+
+// Client talks to a zkflowd server over the v1 API. The zero value is
+// not usable; call NewClient. Every method takes a context that
+// cancels the underlying request; on top of it each request gets a
+// per-request timeout (DefaultRequestTimeout unless overridden with
+// SetRequestTimeout).
 type Client struct {
-	base string
-	http *http.Client
+	base     string
+	http     *http.Client
+	timeout  time.Duration
+	pageSize int
 }
 
 // NewClient creates a client for the given base URL (e.g.
@@ -25,49 +36,108 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: base, http: httpClient}
+	return &Client{
+		base:     base,
+		http:     httpClient,
+		timeout:  DefaultRequestTimeout,
+		pageSize: DefaultLedgerPageLimit,
+	}
 }
 
-func (c *Client) getJSON(path string, v any) error {
-	resp, err := c.http.Get(c.base + path)
+// SetRequestTimeout overrides the per-request timeout (0 disables it;
+// the caller's context still applies).
+func (c *Client) SetRequestTimeout(d time.Duration) { c.timeout = d }
+
+// SetLedgerPageSize overrides the page size Ledger uses when syncing
+// the commitment ledger.
+func (c *Client) SetLedgerPageSize(n int) {
+	if n > 0 {
+		c.pageSize = n
+	}
+}
+
+// requestCtx derives the per-request context.
+func (c *Client) requestCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.timeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.timeout)
+}
+
+// apiError turns a non-200 response into an error, preferring the v1
+// JSON envelope and falling back to the raw body.
+func apiError(path string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		return fmt.Errorf("api: %s: %s: %s (%s)", path, resp.Status, env.Error.Message, env.Error.Code)
+	}
+	return fmt.Errorf("api: %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	ctx, cancel := c.requestCtx(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return fmt.Errorf("api: %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+		return apiError(path, resp)
 	}
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
 // Status fetches the operator status.
-func (c *Client) Status() (*Status, error) {
+func (c *Client) Status(ctx context.Context) (*Status, error) {
 	var st Status
-	if err := c.getJSON("/api/status", &st); err != nil {
+	if err := c.getJSON(ctx, "/api/v1/status", &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
 }
 
-// Ledger downloads and chain-verifies the public commitment ledger.
-func (c *Client) Ledger() (*ledger.Ledger, error) {
+// Ledger downloads and chain-verifies the public commitment ledger,
+// transparently paging through /api/v1/ledger so arbitrarily large
+// ledgers sync incrementally.
+func (c *Client) Ledger(ctx context.Context) (*ledger.Ledger, error) {
 	var entries []ledger.Commitment
-	if err := c.getJSON("/api/ledger", &entries); err != nil {
-		return nil, err
+	for offset := 0; ; {
+		var page LedgerPage
+		path := fmt.Sprintf("/api/v1/ledger?offset=%d&limit=%d", offset, c.pageSize)
+		if err := c.getJSON(ctx, path, &page); err != nil {
+			return nil, err
+		}
+		entries = append(entries, page.Entries...)
+		offset += len(page.Entries)
+		if offset >= page.Total || len(page.Entries) == 0 {
+			break
+		}
 	}
 	return ledger.FromEntries(entries)
 }
 
 // AggregationReceipt fetches round n's receipt.
-func (c *Client) AggregationReceipt(n int) (*zkvm.Receipt, error) {
-	resp, err := c.http.Get(fmt.Sprintf("%s/api/receipts/agg/%d", c.base, n))
+func (c *Client) AggregationReceipt(ctx context.Context, n int) (*zkvm.Receipt, error) {
+	ctx, cancel := c.requestCtx(ctx)
+	defer cancel()
+	path := fmt.Sprintf("/api/v1/receipts/agg/%d", n)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("api: receipt %d: %s", n, resp.Status)
+		return nil, apiError(path, resp)
 	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
 	if err != nil {
@@ -78,19 +148,25 @@ func (c *Client) AggregationReceipt(n int) (*zkvm.Receipt, error) {
 
 // Query submits a SQL query and returns the operator's claimed
 // response plus the decoded receipt (which the caller must verify).
-func (c *Client) Query(sql string) (*QueryResponse, *zkvm.Receipt, error) {
+func (c *Client) Query(ctx context.Context, sql string) (*QueryResponse, *zkvm.Receipt, error) {
 	body, err := json.Marshal(QueryRequest{SQL: sql})
 	if err != nil {
 		return nil, nil, err
 	}
-	resp, err := c.http.Post(c.base+"/api/query", "application/json", bytes.NewReader(body))
+	ctx, cancel := c.requestCtx(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/api/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return nil, nil, fmt.Errorf("api: query rejected: %s", bytes.TrimSpace(msg))
+		return nil, nil, apiError("/api/v1/query", resp)
 	}
 	var qres QueryResponse
 	if err := json.NewDecoder(resp.Body).Decode(&qres); err != nil {

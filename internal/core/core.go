@@ -45,12 +45,19 @@ type Options struct {
 	Checks int
 	// Segments is the parallel proving fan-out (0 = GOMAXPROCS).
 	Segments int
+	// Parallelism bounds the zkVM prover's worker pool (see
+	// zkvm.ProveOptions.Parallelism; 0 = NumCPU, 1 = serial).
+	Parallelism int
+	// PipelineDepth is the number of epoch aggregations a Scheduler
+	// keeps in flight: witness generation for epoch N+1 overlaps the
+	// seal computation of epoch N. 0 or 1 means no pipelining.
+	PipelineDepth int
 	// Prove overrides the proving backend (nil = local zkvm.Prove).
 	Prove ProveFunc
 }
 
 func (o Options) proveOptions() zkvm.ProveOptions {
-	return zkvm.ProveOptions{Checks: o.Checks, Segments: o.Segments}
+	return zkvm.ProveOptions{Checks: o.Checks, Segments: o.Segments, Parallelism: o.Parallelism}
 }
 
 func (o Options) prove(prog *zkvm.Program, input []uint32) (*zkvm.Receipt, error) {
@@ -80,14 +87,15 @@ func (r *QueryResult) Result() uint64 { return r.Journal.Result() }
 
 // Prover is the service-provider side: it owns the private telemetry
 // (store) and produces receipts. Safe for concurrent queries;
-// aggregation rounds are serialised.
+// aggregation rounds are serialised (or pipelined via a Scheduler).
 type Prover struct {
-	mu      sync.Mutex
-	store   *store.Store
-	ledger  *ledger.Ledger
-	opts    Options
-	entries []clog.Entry // current CLog (private)
-	history []*AggregationResult
+	mu         sync.Mutex
+	store      *store.Store
+	ledger     *ledger.Ledger
+	opts       Options
+	entries    []clog.Entry // current CLog (private)
+	history    []*AggregationResult
+	pipelining bool // an open Scheduler owns aggregation
 }
 
 // NewProver creates a prover over a store and ledger.
@@ -127,23 +135,19 @@ func (p *Prover) prevJournalHash() vmtree.Digest {
 	return vmtree.FromBytes(sha256.Sum256(last.JournalBytes()))
 }
 
-// AggregateEpoch runs one Algorithm 1 round over the given epoch's
-// store contents and ledger commitments, producing a receipt and
-// advancing the prover's CLog. Tampered inputs make the guest abort,
-// so no receipt can be produced — the error carries the abort code.
-func (p *Prover) AggregateEpoch(epoch uint64) (*AggregationResult, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-
+// buildAggInput assembles one round's guest input from the epoch's
+// store contents and ledger commitments, chaining from the given
+// CLog snapshot and journal hash.
+func (p *Prover) buildAggInput(epoch uint64, prevEntries []clog.Entry, prevHash vmtree.Digest) (*guest.AggInput, *router.EpochInputs, error) {
 	in, err := router.CollectEpoch(p.store, p.ledger, epoch)
 	if err != nil {
-		return nil, fmt.Errorf("core: collecting epoch %d: %w", epoch, err)
+		return nil, nil, fmt.Errorf("core: collecting epoch %d: %w", epoch, err)
 	}
 	agg := &guest.AggInput{
-		PrevJournalHash: p.prevJournalHash(),
-		PrevRoot:        vmtree.Root(guest.EntryWordsOf(p.entries)),
+		PrevJournalHash: prevHash,
+		PrevRoot:        vmtree.Root(guest.EntryWordsOf(prevEntries)),
 		Epoch:           uint32(epoch),
-		PrevEntries:     p.entries,
+		PrevEntries:     prevEntries,
 	}
 	for i, id := range in.Routers {
 		agg.Routers = append(agg.Routers, guest.RouterBatch{
@@ -151,6 +155,26 @@ func (p *Prover) AggregateEpoch(epoch uint64) (*AggregationResult, error) {
 			Commitment: vmtree.FromBytes(in.Commitments[i].Hash),
 			Records:    in.Batches[i],
 		})
+	}
+	return agg, in, nil
+}
+
+// AggregateEpoch runs one Algorithm 1 round over the given epoch's
+// store contents and ledger commitments, producing a receipt and
+// advancing the prover's CLog. Tampered inputs make the guest abort,
+// so no receipt can be produced — the error carries the abort code.
+// While a Scheduler is open it owns aggregation and this returns
+// ErrPipelineActive.
+func (p *Prover) AggregateEpoch(epoch uint64) (*AggregationResult, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pipelining {
+		return nil, ErrPipelineActive
+	}
+
+	agg, in, err := p.buildAggInput(epoch, p.entries, p.prevJournalHash())
+	if err != nil {
+		return nil, err
 	}
 	receipt, err := p.opts.prove(guest.AggregationProgram(), agg.Words())
 	if err != nil {
@@ -197,6 +221,13 @@ func (p *Prover) Query(sql string) (*QueryResult, error) {
 
 // Verification errors.
 var (
+	// ErrPipelineActive reports a direct AggregateEpoch call while an
+	// open Scheduler owns the aggregation chain.
+	ErrPipelineActive = errors.New("core: a pipeline scheduler owns aggregation; close it first")
+	// ErrPipelineAborted reports an epoch discarded because an earlier
+	// epoch in the pipeline failed: its speculative chain state is
+	// unusable.
+	ErrPipelineAborted = errors.New("core: pipeline aborted by an earlier epoch failure")
 	// ErrChainBroken reports an aggregation receipt that does not
 	// extend the verifier's current state.
 	ErrChainBroken = errors.New("core: aggregation chain broken")

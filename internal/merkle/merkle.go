@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"runtime"
+	"sync"
 )
 
 // Hash is a SHA-256 digest.
@@ -87,18 +89,39 @@ type Tree struct {
 	levels [][]Hash
 }
 
+// parallelThreshold is the per-level node count below which tree
+// building stays serial: narrow levels are cheaper to hash inline
+// than to fan out.
+const parallelThreshold = 2048
+
 // Build constructs a tree over raw leaves (hashed with LeafHash).
-func Build(leaves [][]byte) *Tree {
+// Large trees are built with a parallel fan-out across GOMAXPROCS
+// workers; use BuildParallel to control the worker count.
+func Build(leaves [][]byte) *Tree { return BuildParallel(leaves, 0) }
+
+// BuildParallel is Build with an explicit worker bound: 0 means
+// GOMAXPROCS, 1 forces the serial path. The resulting tree is
+// identical to the serial one — hashing is deterministic and workers
+// only split index ranges.
+func BuildParallel(leaves [][]byte, workers int) *Tree {
 	hashes := make([]Hash, len(leaves))
-	for i, l := range leaves {
-		hashes[i] = LeafHash(l)
-	}
-	return BuildHashes(hashes)
+	forChunks(len(leaves), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hashes[i] = LeafHash(leaves[i])
+		}
+	})
+	return BuildHashesParallel(hashes, workers)
 }
 
 // BuildHashes constructs a tree over precomputed leaf hashes.
 // An empty input produces a one-leaf tree over the empty hash.
-func BuildHashes(leafHashes []Hash) *Tree {
+// Large trees are built level-by-level with a parallel chunked
+// fan-out; use BuildHashesParallel to control the worker count.
+func BuildHashes(leafHashes []Hash) *Tree { return BuildHashesParallel(leafHashes, 0) }
+
+// BuildHashesParallel is BuildHashes with an explicit worker bound:
+// 0 means GOMAXPROCS, 1 forces the serial path.
+func BuildHashesParallel(leafHashes []Hash, workers int) *Tree {
 	n := len(leafHashes)
 	size := 1
 	for size < n {
@@ -112,13 +135,42 @@ func BuildHashes(leafHashes []Hash) *Tree {
 	t := &Tree{nLeaves: n, levels: [][]Hash{level}}
 	for len(level) > 1 {
 		next := make([]Hash, len(level)/2)
-		for i := range next {
-			next[i] = NodeHash(level[2*i], level[2*i+1])
-		}
+		src := level
+		forChunks(len(next), workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				next[i] = NodeHash(src[2*i], src[2*i+1])
+			}
+		})
 		t.levels = append(t.levels, next)
 		level = next
 	}
 	return t
+}
+
+// forChunks runs fn over [0,n) split into contiguous chunks, one per
+// worker, in parallel. Small inputs and workers<=1 run inline.
+func forChunks(n, workers int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || n < parallelThreshold {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // Root returns the Merkle root.

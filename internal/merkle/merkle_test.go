@@ -264,3 +264,39 @@ func BenchmarkProveVerify(b *testing.B) {
 		}
 	}
 }
+
+// TestParallelBuildMatchesSerial asserts the chunked fan-out produces
+// byte-identical trees: every level, every node, every proof.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 255, 1024, parallelThreshold, parallelThreshold + 1, 3*parallelThreshold + 7} {
+		ls := leaves(n)
+		serial := BuildParallel(ls, 1)
+		for _, workers := range []int{2, 3, 8, 64} {
+			par := BuildParallel(ls, workers)
+			if serial.Root() != par.Root() {
+				t.Fatalf("n=%d workers=%d: root mismatch", n, workers)
+			}
+			if len(serial.levels) != len(par.levels) {
+				t.Fatalf("n=%d workers=%d: level count mismatch", n, workers)
+			}
+			for lvl := range serial.levels {
+				for i := range serial.levels[lvl] {
+					if serial.levels[lvl][i] != par.levels[lvl][i] {
+						t.Fatalf("n=%d workers=%d: node (%d,%d) differs", n, workers, lvl, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkBuildParallel(b *testing.B) {
+	ls := leaves(1 << 15)
+	for _, workers := range []int{1, 4, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				BuildParallel(ls, workers)
+			}
+		})
+	}
+}

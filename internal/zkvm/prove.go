@@ -19,6 +19,15 @@ type ProveOptions struct {
 	Checks int
 	// Segments is the parallel commitment fan-out (default GOMAXPROCS).
 	Segments int
+	// Parallelism bounds the prover's worker pool: the committed
+	// tables (execution-trace rows, the two memory-log orderings —
+	// which include the hash-precompile's memory rows — and the two
+	// running-product columns) are encoded and committed concurrently,
+	// and Merkle levels are built with a chunked fan-out. 0 means
+	// runtime.NumCPU(); 1 forces the fully serial path. Every width
+	// produces byte-identical receipts (asserted by
+	// TestParallelProveDeterminism).
+	Parallelism int
 	// AllowNonZeroExit proves runs that halted with a nonzero exit
 	// code. By default such runs are treated as guest aborts and
 	// refuse to prove — the paper's "failed proof generation" signal.
@@ -55,6 +64,18 @@ func Prove(prog *Program, input []uint32, opts ProveOptions) (*Receipt, error) {
 
 // ProveExecution seals an already-traced execution.
 func ProveExecution(ex *Execution, opts ProveOptions) (*Receipt, error) {
+	var seed [32]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		return nil, fmt.Errorf("zkvm: salt seed: %w", err)
+	}
+	return proveExecutionSeeded(ex, opts, &seed)
+}
+
+// proveExecutionSeeded is the deterministic core of ProveExecution:
+// given the same execution, options, and salt seed it emits the same
+// receipt byte-for-byte at any Parallelism — all concurrency below is
+// index-partitioned over committed tables, never order-dependent.
+func proveExecutionSeeded(ex *Execution, opts ProveOptions, seed *[32]byte) (*Receipt, error) {
 	checks := opts.Checks
 	if checks <= 0 {
 		checks = DefaultChecks
@@ -63,11 +84,7 @@ func ProveExecution(ex *Execution, opts ProveOptions) (*Receipt, error) {
 	if segments <= 0 {
 		segments = defaultSegments()
 	}
-
-	var seed [32]byte
-	if _, err := rand.Read(seed[:]); err != nil {
-		return nil, fmt.Errorf("zkvm: salt seed: %w", err)
-	}
+	pool := newWorkerPool(opts.Parallelism)
 
 	nRows := len(ex.Rows)
 	if nRows == 0 {
@@ -75,25 +92,52 @@ func ProveExecution(ex *Execution, opts ProveOptions) (*Receipt, error) {
 	}
 	nMem := len(ex.MemLog)
 
-	// Serialise all committed tables.
-	rowPayloads := make([][]byte, nRows)
-	for i := range ex.Rows {
-		rowPayloads[i] = encodeRow(&ex.Rows[i])
-	}
-	memProgPayloads := make([][]byte, nMem)
-	for i := range ex.MemLog {
-		memProgPayloads[i] = encodeMemEntry(&ex.MemLog[i])
-	}
-	sorted := sortedMemLog(ex.MemLog)
-	memSortPayloads := make([][]byte, nMem)
-	for i := range sorted {
-		memSortPayloads[i] = encodeMemEntry(&sorted[i])
-	}
+	// Serialise all committed tables; the three tables are
+	// independent, so they encode concurrently on a split pool.
+	var (
+		rowPayloads     [][]byte
+		memProgPayloads [][]byte
+		memSortPayloads [][]byte
+		sorted          []MemEntry
+	)
+	enc := pool.split(3)
+	pool.do(
+		func() {
+			rowPayloads = make([][]byte, nRows)
+			enc.forChunks(nRows, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					rowPayloads[i] = encodeRow(&ex.Rows[i])
+				}
+			})
+		},
+		func() {
+			memProgPayloads = make([][]byte, nMem)
+			enc.forChunks(nMem, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					memProgPayloads[i] = encodeMemEntry(&ex.MemLog[i])
+				}
+			})
+		},
+		func() {
+			sorted = sortedMemLog(ex.MemLog)
+			memSortPayloads = make([][]byte, nMem)
+			enc.forChunks(nMem, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					memSortPayloads[i] = encodeMemEntry(&sorted[i])
+				}
+			})
+		},
+	)
 
-	// Phase 1 commitments (before the memory challenges).
-	execTree := commitLeaves(&seed, treeExec, rowPayloads, segments)
-	memProgTree := commitLeaves(&seed, treeMemProg, memProgPayloads, segments)
-	memSortTree := commitLeaves(&seed, treeMemSort, memSortPayloads, segments)
+	// Phase 1 commitments (before the memory challenges): three
+	// independent trees, committed concurrently.
+	var execTree, memProgTree, memSortTree *merkle.Tree
+	com := pool.split(3)
+	pool.do(
+		func() { execTree = commitLeaves(seed, treeExec, rowPayloads, segments, com) },
+		func() { memProgTree = commitLeaves(seed, treeMemProg, memProgPayloads, segments, com) },
+		func() { memSortTree = commitLeaves(seed, treeMemSort, memSortPayloads, segments, com) },
+	)
 
 	receipt := &Receipt{
 		ImageID:  ex.Program.ID(),
@@ -115,17 +159,34 @@ func ProveExecution(ex *Execution, opts ProveOptions) (*Receipt, error) {
 	alpha := tr.ChallengeElem("alpha")
 	gamma := tr.ChallengeElem("gamma")
 
-	// Phase 2: running products under (alpha, gamma).
-	prodProg := runningProducts(ex.MemLog, alpha, gamma)
-	prodSort := runningProducts(sorted, alpha, gamma)
-	prodProgPayloads := make([][]byte, nMem)
-	prodSortPayloads := make([][]byte, nMem)
-	for i := 0; i < nMem; i++ {
-		prodProgPayloads[i] = encodeProd(prodProg[i])
-		prodSortPayloads[i] = encodeProd(prodSort[i])
-	}
-	prodProgTree := commitLeaves(&seed, treeProdProg, prodProgPayloads, segments)
-	prodSortTree := commitLeaves(&seed, treeProdSort, prodSortPayloads, segments)
+	// Phase 2: running products under (alpha, gamma). The two product
+	// columns are independent; each is scanned (parallel prefix
+	// product), encoded, and committed on half the pool.
+	var prodProgPayloads, prodSortPayloads [][]byte
+	var prodProgTree, prodSortTree *merkle.Tree
+	p2 := pool.split(2)
+	pool.do(
+		func() {
+			prodProg := runningProducts(ex.MemLog, alpha, gamma, p2)
+			prodProgPayloads = make([][]byte, nMem)
+			p2.forChunks(nMem, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					prodProgPayloads[i] = encodeProd(prodProg[i])
+				}
+			})
+			prodProgTree = commitLeaves(seed, treeProdProg, prodProgPayloads, segments, p2)
+		},
+		func() {
+			prodSort := runningProducts(sorted, alpha, gamma, p2)
+			prodSortPayloads = make([][]byte, nMem)
+			p2.forChunks(nMem, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					prodSortPayloads[i] = encodeProd(prodSort[i])
+				}
+			})
+			prodSortTree = commitLeaves(seed, treeProdSort, prodSortPayloads, segments, p2)
+		},
+	)
 	s.ProdProgRoot = prodProgTree.Root()
 	s.ProdSortRoot = prodSortTree.Root()
 	tr.Append("prodprog-root", s.ProdProgRoot[:])
@@ -138,7 +199,7 @@ func ProveExecution(ex *Execution, opts ProveOptions) (*Receipt, error) {
 		}
 		return Opening{
 			Index: idx,
-			Salt:  deriveSalt(&seed, label, idx),
+			Salt:  deriveSalt(seed, label, idx),
 			Data:  payloads[idx],
 			Path:  proof.Path,
 		}, nil

@@ -134,15 +134,16 @@ const (
 // commitLeaves builds a salted Merkle tree over the payloads, hashing
 // leaves in parallel across segments goroutines (the §7 "partition the
 // workload, merge partial proofs" path: each segment's subtree is a
-// partial commitment merged by the upper tree levels).
-func commitLeaves(seed *[32]byte, label byte, payloads [][]byte, segments int) *merkle.Tree {
+// partial commitment merged by the upper tree levels). The tree's
+// internal levels are built with pool-wide chunked fan-out.
+func commitLeaves(seed *[32]byte, label byte, payloads [][]byte, segments int, pool *workerPool) *merkle.Tree {
 	n := len(payloads)
 	hashes := make([]merkle.Hash, n)
 	if segments <= 1 || n < 2*segments {
 		for i, p := range payloads {
 			hashes[i] = saltedLeafHash(deriveSalt(seed, label, i), p)
 		}
-		return merkle.BuildHashes(hashes)
+		return merkle.BuildHashesParallel(hashes, pool.workers)
 	}
 	var wg sync.WaitGroup
 	chunk := (n + segments - 1) / segments
@@ -164,7 +165,7 @@ func commitLeaves(seed *[32]byte, label byte, payloads [][]byte, segments int) *
 		}(lo, hi)
 	}
 	wg.Wait()
-	return merkle.BuildHashes(hashes)
+	return merkle.BuildHashesParallel(hashes, pool.workers)
 }
 
 // defaultSegments picks the proving fan-out from the host CPU count.
@@ -209,12 +210,67 @@ func fingerprint(e *MemEntry, alpha field.Elem) field.Elem {
 }
 
 // runningProducts returns P with P[i] = prod_{j<=i} (gamma - f(e_j)).
-func runningProducts(log []MemEntry, alpha, gamma field.Elem) []field.Elem {
-	out := make([]field.Elem, len(log))
-	acc := field.One
-	for i := range log {
-		acc = field.Mul(acc, field.Sub(gamma, fingerprint(&log[i], alpha)))
-		out[i] = acc
+// Wide pools use a three-phase parallel prefix scan: per-chunk local
+// products, a serial pass over the (few) chunk totals, then a
+// parallel rescale. Field multiplication is exactly associative, so
+// the result is bit-identical to the serial scan.
+func runningProducts(log []MemEntry, alpha, gamma field.Elem, pool *workerPool) []field.Elem {
+	n := len(log)
+	out := make([]field.Elem, n)
+	if pool.workers == 1 || n < 2*pool.workers {
+		acc := field.One
+		for i := range log {
+			acc = field.Mul(acc, field.Sub(gamma, fingerprint(&log[i], alpha)))
+			out[i] = acc
+		}
+		return out
 	}
+	chunk := (n + pool.workers - 1) / pool.workers
+	var bounds [][2]int
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+	}
+	totals := make([]field.Elem, len(bounds))
+	local := make([]func(), len(bounds))
+	for c := range bounds {
+		c := c
+		local[c] = func() {
+			lo, hi := bounds[c][0], bounds[c][1]
+			acc := field.One
+			for i := lo; i < hi; i++ {
+				acc = field.Mul(acc, field.Sub(gamma, fingerprint(&log[i], alpha)))
+				out[i] = acc
+			}
+			totals[c] = acc
+		}
+	}
+	pool.do(local...)
+	// Exclusive prefix of chunk totals, then rescale each chunk by
+	// the product of everything before it.
+	prefix := make([]field.Elem, len(bounds))
+	acc := field.One
+	for c := range bounds {
+		prefix[c] = acc
+		acc = field.Mul(acc, totals[c])
+	}
+	rescale := make([]func(), len(bounds))
+	for c := range bounds {
+		c := c
+		rescale[c] = func() {
+			lo, hi := bounds[c][0], bounds[c][1]
+			p := prefix[c]
+			if p == field.One {
+				return
+			}
+			for i := lo; i < hi; i++ {
+				out[i] = field.Mul(out[i], p)
+			}
+		}
+	}
+	pool.do(rescale...)
 	return out
 }
