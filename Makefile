@@ -1,17 +1,36 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test race bench bench-parallel verify
+.PHONY: build vet test race fuzz check bench bench-parallel verify
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
 
 # Race lane: the packages that fan work out across goroutines — the
-# prover worker pool, the epoch pipeline, and the HTTP layer.
+# prover worker pool, the epoch pipeline, the metrics registry, and
+# the HTTP layer.
 race:
-	$(GO) test -race ./internal/zkvm ./internal/core ./internal/api ./internal/merkle
+	$(GO) test -race ./internal/zkvm ./internal/core ./internal/api ./internal/merkle ./internal/obs
+
+# Fuzz lane: each network/storage-facing decoder gets a short
+# randomized run on top of its committed seed + regression corpus.
+# `go test -fuzz` takes one target per invocation, so this is four
+# runs; budget with FUZZTIME (default 10s each).
+fuzz:
+	$(GO) test ./internal/netflow -run='^$$' -fuzz=FuzzWireCodecs -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/remote -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/zkvm -run='^$$' -fuzz=FuzzDecodeProgram -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/zkvm -run='^$$' -fuzz=FuzzUnmarshalReceipt -fuzztime=$(FUZZTIME)
+
+# The default pre-merge gate. The fuzz lane runs last so the cheap
+# deterministic checks fail fast.
+check: build vet test race fuzz
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -20,4 +39,4 @@ bench:
 bench-parallel:
 	$(GO) test -bench='ProveParallel|PipelinedAggregation' -run=^$$ .
 
-verify: build test race
+verify: build vet test race

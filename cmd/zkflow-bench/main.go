@@ -21,6 +21,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"zkflow/internal/clog"
@@ -334,6 +335,54 @@ func expSpecialized(checks int) {
 		cyclesPerSoftHash, gperm.Rounds, cyclesPerSoftHash/rowsPerStarkHash)
 }
 
+// stageCollector gathers one proof's per-stage wall times (it
+// implements zkvm.StageObserver; the mutex is for the worker-pool
+// case where stages could in principle report concurrently).
+type stageCollector struct {
+	mu sync.Mutex
+	d  map[string]time.Duration
+}
+
+func (c *stageCollector) ObserveStage(stage string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.d == nil {
+		c.d = make(map[string]time.Duration)
+	}
+	c.d[stage] += d
+}
+
+// expStages prints where aggregation proving time actually goes: the
+// per-stage breakdown of one 1000-record proof (ProveOptions.Observer
+// is the same hook zkflowd feeds into /api/v1/metrics). Stage times
+// sum to slightly less than the wall clock (transcript work between
+// stages is unattributed).
+func expStages(checks int) {
+	fmt.Println("=== E13: per-stage prover breakdown (1000 records) ===")
+	in := genesisInput(3, 1000)
+	words := in.Words()
+	// Warm-up, so the measured run does not absorb one-time costs.
+	if _, err := zkvm.Prove(guest.AggregationProgram(), words, zkvm.ProveOptions{Checks: checks}); err != nil {
+		log.Fatal(err)
+	}
+	col := &stageCollector{}
+	t0 := time.Now()
+	if _, err := zkvm.Prove(guest.AggregationProgram(), words, zkvm.ProveOptions{Checks: checks, Observer: col}); err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(t0)
+	fmt.Printf("%-16s  %12s  %7s\n", "stage", "time", "share")
+	var attributed time.Duration
+	for _, stage := range zkvm.Stages {
+		d := col.d[stage]
+		attributed += d
+		fmt.Printf("%-16s  %10.1f ms  %6.1f%%\n", stage, ms(d), 100*ms(d)/ms(wall))
+	}
+	fmt.Printf("%-16s  %10.1f ms  %6.1f%% (transcript + bookkeeping)\n",
+		"unattributed", ms(wall-attributed), 100*ms(wall-attributed)/ms(wall))
+	fmt.Printf("%-16s  %10.1f ms\n\n", "wall", ms(wall))
+}
+
 func expProfile() {
 	fmt.Println("=== guest cycle profile (paper §6: Merkle work dominates in-VM) ===")
 	in := genesisInput(3, 1000)
@@ -369,14 +418,18 @@ func kb(n int) float64           { return float64(n) / 1024 }
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|all")
+		exp    = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|stages|all")
 		checks = flag.Int("checks", zkvm.DefaultChecks, "zkVM sampled checks per proof")
 		csv    = flag.String("csv", "", "write the Figure 4 series as CSV to this path")
+		stages = flag.Bool("stages", false, "shorthand for -exp stages: print the per-stage prover breakdown")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 
 	fmt.Printf("zkflow-bench: %d CPUs, checks=%d\n\n", runtime.GOMAXPROCS(0), *checks)
+	if *stages {
+		*exp = "stages"
+	}
 	switch *exp {
 	case "fig4":
 		expFig4(*checks, *csv)
@@ -392,6 +445,8 @@ func main() {
 		expSpecialized(*checks)
 	case "profile":
 		expProfile()
+	case "stages":
+		expStages(*checks)
 	case "all":
 		expFig4(*checks, *csv)
 		expTable1(*checks)
@@ -400,6 +455,7 @@ func main() {
 		expPipeline(*checks)
 		expSpecialized(*checks)
 		expProfile()
+		expStages(*checks)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

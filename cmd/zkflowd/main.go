@@ -13,11 +13,13 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"strings"
 	"time"
 
 	"zkflow/internal/api"
 	"zkflow/internal/core"
 	"zkflow/internal/ledger"
+	"zkflow/internal/obs"
 	"zkflow/internal/remote"
 	"zkflow/internal/router"
 	"zkflow/internal/store"
@@ -38,6 +40,9 @@ func main() {
 		worker   = flag.String("worker", "", "off-path proving worker URL (empty = prove locally)")
 		pipeline = flag.Int("pipeline", 0, "pipeline depth: overlap witness generation with up to N in-flight seals (0 = serial)")
 		workers  = flag.Int("parallelism", 0, "prover worker-pool width (0 = all CPUs, 1 = serial)")
+
+		debugAddr    = flag.String("debug-addr", "", "operator-only pprof+metrics listen address (empty = off; keep it loopback)")
+		metricsEvery = flag.Duration("metrics-every", 0, "log a metrics summary line at this interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -46,13 +51,50 @@ func main() {
 	sim := router.NewSim(trafficgen.Config{
 		Seed: *seed, NumFlows: *flows, Routers: *routers, LossRate: *loss,
 	}, st, lg)
-	opts := core.Options{Checks: *checks, Parallelism: *workers, PipelineDepth: *pipeline}
+	// One registry carries the whole daemon: zkVM stage timings,
+	// scheduler gauges, and the HTTP layer, served at /api/v1/metrics.
+	reg := obs.NewRegistry()
+	opts := core.Options{Checks: *checks, Parallelism: *workers, PipelineDepth: *pipeline, Metrics: reg}
 	if *worker != "" {
 		opts.Prove = remote.NewClient(*worker, nil).Prove
 		log.Printf("proving off-path via %s", *worker)
 	}
 	prover := core.NewProver(st, lg, opts)
 	srv := api.NewServer(prover, lg)
+	srv.UseRegistry(reg)
+
+	// The pprof mux is a separate listener, never the public API one:
+	// heap and CPU profiles of the prover are operator-only artifacts.
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("debug (pprof+metrics) listening on http://%s/debug/pprof/", *debugAddr)
+			log.Printf("debug listener failed: %v", http.ListenAndServe(*debugAddr, obs.DebugHandler(reg)))
+		}()
+	}
+	if *metricsEvery > 0 {
+		go func() {
+			for range time.Tick(*metricsEvery) {
+				s := reg.Snapshot()
+				var http2xx, http4xx, http5xx uint64
+				for name, v := range s.Counters {
+					switch {
+					case strings.HasSuffix(name, ".2xx"):
+						http2xx += v
+					case strings.HasSuffix(name, ".4xx"):
+						http4xx += v
+					case strings.HasSuffix(name, ".5xx"):
+						http5xx += v
+					}
+				}
+				agg := s.Histograms["core.agg_seconds"]
+				log.Printf("metrics: rounds=%d agg_mean=%.0fms queue=%d inflight=%d failed=%d http 2xx/4xx/5xx=%d/%d/%d receipt_bytes=%d",
+					s.Counters["core.agg_rounds"], agg.Mean*1000,
+					s.Gauges["sched.queue_depth"], s.Gauges["sched.inflight_seals"],
+					s.Counters["core.agg_failures"],
+					http2xx, http4xx, http5xx, s.Counters["http.receipt_bytes"])
+			}
+		}()
+	}
 
 	logRound := func(res *core.AggregationResult, d time.Duration) {
 		log.Printf("epoch %d: %d records -> %d flows, proof %.0f ms, receipt %d B, root %v",

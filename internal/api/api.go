@@ -21,9 +21,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"zkflow/internal/core"
 	"zkflow/internal/ledger"
+	"zkflow/internal/obs"
 	"zkflow/internal/zkvm"
 )
 
@@ -91,14 +93,23 @@ type Server struct {
 	prover *core.Prover
 	ledger *ledger.Ledger
 
+	metrics      *obs.Registry
+	receiptBytes *obs.Counter
+
 	mu       sync.RWMutex
 	receipts [][]byte
 }
 
-// NewServer wraps a prover and its public ledger.
+// NewServer wraps a prover and its public ledger. The server meters
+// itself into a private registry; UseRegistry swaps in a shared one.
 func NewServer(p *core.Prover, lg *ledger.Ledger) *Server {
-	return &Server{prover: p, ledger: lg}
+	return &Server{prover: p, ledger: lg, metrics: obs.NewRegistry()}
 }
+
+// UseRegistry routes the server's HTTP metrics into reg, so one
+// registry carries the whole daemon (prover stages, scheduler, HTTP).
+// Must be called before Handler.
+func (s *Server) UseRegistry(reg *obs.Registry) { s.metrics = reg }
 
 // AddAggregation registers a completed round's receipt for serving.
 func (s *Server) AddAggregation(r *zkvm.Receipt) error {
@@ -113,23 +124,85 @@ func (s *Server) AddAggregation(r *zkvm.Receipt) error {
 }
 
 // Handler returns the HTTP handler: the v1 surface plus the
-// deprecated unversioned aliases.
+// deprecated unversioned aliases. Every route is wrapped by the
+// metrics middleware (per-route request counters by status class and
+// a latency histogram). The pprof debug mux is deliberately NOT here:
+// it only exists behind zkflowd's -debug-addr listener.
 func (s *Server) Handler() http.Handler {
+	s.receiptBytes = s.metrics.Counter("http.receipt_bytes")
 	mux := http.NewServeMux()
 	// Versioned surface.
-	mux.HandleFunc("/api/v1/status", method(http.MethodGet, s.handleStatus))
-	mux.HandleFunc("/api/v1/ledger", method(http.MethodGet, s.handleLedgerV1))
-	mux.HandleFunc("/api/v1/receipts/agg/", method(http.MethodGet, s.handleReceipt))
-	mux.HandleFunc("/api/v1/query", method(http.MethodPost, s.handleQuery))
-	mux.HandleFunc("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/api/v1/status", s.instrument("status", method(http.MethodGet, s.handleStatus)))
+	mux.HandleFunc("/api/v1/ledger", s.instrument("ledger", method(http.MethodGet, s.handleLedgerV1)))
+	mux.HandleFunc("/api/v1/receipts/agg/", s.instrument("receipts_agg", method(http.MethodGet, s.handleReceipt)))
+	mux.HandleFunc("/api/v1/query", s.instrument("query", method(http.MethodPost, s.handleQuery)))
+	mux.HandleFunc("/api/v1/metrics", s.instrument("metrics", method(http.MethodGet, s.handleMetrics)))
+	mux.HandleFunc("/api/v1/", s.instrument("other", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound, "no such endpoint: "+r.URL.Path)
-	})
+	}))
 	// Deprecated aliases (pre-v1 paths and response shapes).
-	mux.HandleFunc("/api/status", deprecated("/api/v1/status", method(http.MethodGet, s.handleStatus)))
-	mux.HandleFunc("/api/ledger", deprecated("/api/v1/ledger", method(http.MethodGet, s.handleLedgerLegacy)))
-	mux.HandleFunc("/api/receipts/agg/", deprecated("/api/v1/receipts/agg/", method(http.MethodGet, s.handleReceipt)))
-	mux.HandleFunc("/api/query", deprecated("/api/v1/query", method(http.MethodPost, s.handleQuery)))
+	mux.HandleFunc("/api/status", s.instrument("status", deprecated("/api/v1/status", method(http.MethodGet, s.handleStatus))))
+	mux.HandleFunc("/api/ledger", s.instrument("ledger", deprecated("/api/v1/ledger", method(http.MethodGet, s.handleLedgerLegacy))))
+	mux.HandleFunc("/api/receipts/agg/", s.instrument("receipts_agg", deprecated("/api/v1/receipts/agg/", method(http.MethodGet, s.handleReceipt))))
+	mux.HandleFunc("/api/query", s.instrument("query", deprecated("/api/v1/query", method(http.MethodPost, s.handleQuery))))
 	return mux
+}
+
+// statusRecorder captures the response status and body size for the
+// metrics middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// instrument wraps a route with per-route metrics: request counters
+// split by status class (http.requests.<route>.<1xx..5xx>) and a
+// latency histogram (http.latency_seconds.<route>). Handles are
+// resolved once per route at mux-build time, so the per-request path
+// is a clock read plus a few atomic ops.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	var classes [5]*obs.Counter
+	for i := range classes {
+		classes[i] = s.metrics.Counter(fmt.Sprintf("http.requests.%s.%dxx", route, i+1))
+	}
+	lat := s.metrics.Histogram("http.latency_seconds."+route, obs.DefaultLatencyBuckets)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		t0 := time.Now()
+		h(rec, r)
+		lat.Observe(time.Since(t0).Seconds())
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing
+		}
+		if cls := status/100 - 1; cls >= 0 && cls < len(classes) {
+			classes[cls].Inc()
+		}
+	}
+}
+
+// handleMetrics serves the registry snapshot: per-route HTTP metrics
+// plus whatever the prover and scheduler reported into the shared
+// registry (see core/metrics.go for the name schema).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.metrics.Snapshot())
 }
 
 // method wraps a handler with method enforcement; mismatches get the
@@ -221,8 +294,12 @@ func (s *Server) handleReceipt(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if _, err := w.Write(s.receipts[n]); err != nil {
+	written, err := w.Write(s.receipts[n])
+	if err != nil {
 		log.Printf("api: writing receipt %d: %v", n, err)
+	}
+	if s.receiptBytes != nil {
+		s.receiptBytes.Add(uint64(written))
 	}
 }
 

@@ -23,10 +23,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"zkflow/internal/clog"
 	"zkflow/internal/guest"
 	"zkflow/internal/ledger"
+	"zkflow/internal/obs"
 	"zkflow/internal/query"
 	"zkflow/internal/router"
 	"zkflow/internal/store"
@@ -54,10 +56,19 @@ type Options struct {
 	PipelineDepth int
 	// Prove overrides the proving backend (nil = local zkvm.Prove).
 	Prove ProveFunc
+	// Metrics, when non-nil, receives the prover's observability
+	// stream: round/query counters and latencies, scheduler pipeline
+	// gauges, and the per-stage zkVM prover breakdown (see metrics.go
+	// for the name schema). nil runs unmetered.
+	Metrics *obs.Registry
 }
 
 func (o Options) proveOptions() zkvm.ProveOptions {
-	return zkvm.ProveOptions{Checks: o.Checks, Segments: o.Segments, Parallelism: o.Parallelism}
+	po := zkvm.ProveOptions{Checks: o.Checks, Segments: o.Segments, Parallelism: o.Parallelism}
+	if o.Metrics != nil {
+		po.Observer = obs.NewStageRecorder(o.Metrics, "prover.stage.")
+	}
+	return po
 }
 
 func (o Options) prove(prog *zkvm.Program, input []uint32) (*zkvm.Receipt, error) {
@@ -95,12 +106,13 @@ type Prover struct {
 	opts       Options
 	entries    []clog.Entry // current CLog (private)
 	history    []*AggregationResult
-	pipelining bool // an open Scheduler owns aggregation
+	pipelining bool     // an open Scheduler owns aggregation
+	met        *metrics // nil when Options.Metrics is nil
 }
 
 // NewProver creates a prover over a store and ledger.
 func NewProver(st *store.Store, lg *ledger.Ledger, opts Options) *Prover {
-	return &Prover{store: st, ledger: lg, opts: opts}
+	return &Prover{store: st, ledger: lg, opts: opts, met: newMetrics(opts.Metrics)}
 }
 
 // Round returns the number of completed aggregation rounds.
@@ -165,12 +177,14 @@ func (p *Prover) buildAggInput(epoch uint64, prevEntries []clog.Entry, prevHash 
 // so no receipt can be produced — the error carries the abort code.
 // While a Scheduler is open it owns aggregation and this returns
 // ErrPipelineActive.
-func (p *Prover) AggregateEpoch(epoch uint64) (*AggregationResult, error) {
+func (p *Prover) AggregateEpoch(epoch uint64) (res *AggregationResult, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.pipelining {
 		return nil, ErrPipelineActive
 	}
+	t0 := time.Now()
+	defer func() { p.met.aggDone(time.Since(t0).Seconds(), err) }()
 
 	agg, in, err := p.buildAggInput(epoch, p.entries, p.prevJournalHash())
 	if err != nil {
@@ -191,14 +205,16 @@ func (p *Prover) AggregateEpoch(epoch uint64) (*AggregationResult, error) {
 		return nil, fmt.Errorf("core: internal error: guest root %v, host root %v", j.NewRoot.Bytes(), got.Bytes())
 	}
 	p.entries = next
-	res := &AggregationResult{Epoch: epoch, Receipt: receipt, Journal: j}
+	res = &AggregationResult{Epoch: epoch, Receipt: receipt, Journal: j}
 	p.history = append(p.history, res)
 	return res, nil
 }
 
 // Query compiles, executes, and proves a SQL query over the current
 // CLog snapshot.
-func (p *Prover) Query(sql string) (*QueryResult, error) {
+func (p *Prover) Query(sql string) (qres *QueryResult, err error) {
+	t0 := time.Now()
+	defer func() { p.met.queryDone(time.Since(t0).Seconds(), err) }()
 	q, err := query.Parse(sql)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,142 @@
+// Observability wiring for the prover and the epoch pipeline. All
+// handles are resolved once here, so the instrumented paths only
+// touch atomics; every accessor below is nil-receiver safe, so an
+// unmetered prover (Options.Metrics == nil) pays a single branch.
+//
+// Metric names (served by GET /api/v1/metrics):
+//
+//	core.agg_rounds / core.agg_failures     counters, serial + pipelined rounds
+//	core.agg_seconds                        histogram, whole-round latency
+//	core.query_total / core.query_failures  counters
+//	core.query_seconds                      histogram
+//	sched.queue_depth                       gauge, submitted-not-yet-committed epochs
+//	sched.inflight_seals                    gauge, seal goroutines holding a slot
+//	sched.epochs_committed                  counter
+//	sched.epochs_failed                     counter, witness/seal/commit failures
+//	sched.epochs_discarded                  counter, poisoned by an earlier failure
+//	sched.epoch_seconds                     histogram, witness-start → commit
+//	trace.witness_seconds / trace.seal_seconds  tracer spans via obs.RegistrySink
+//	prover.stage.<stage>_seconds            zkvm stage breakdown (see zkvm.Stages)
+package core
+
+import (
+	"zkflow/internal/obs"
+)
+
+// metrics bundles the prover's pre-resolved metric handles.
+type metrics struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	aggRounds     *obs.Counter
+	aggFailures   *obs.Counter
+	aggSeconds    *obs.Histogram
+	queries       *obs.Counter
+	queryFailures *obs.Counter
+	querySeconds  *obs.Histogram
+
+	queueDepth    *obs.Gauge
+	inflightSeals *obs.Gauge
+	committed     *obs.Counter
+	failed        *obs.Counter
+	discarded     *obs.Counter
+	epochSeconds  *obs.Histogram
+}
+
+// newMetrics pre-registers every prover metric so snapshots expose
+// the full schema (at zero) before the first round. nil reg → nil
+// metrics, and every method below degrades to a no-op.
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		return nil
+	}
+	return &metrics{
+		reg:    reg,
+		tracer: obs.NewTracer(obs.NewRegistrySink(reg, "trace.")),
+
+		aggRounds:     reg.Counter("core.agg_rounds"),
+		aggFailures:   reg.Counter("core.agg_failures"),
+		aggSeconds:    reg.Histogram("core.agg_seconds", obs.DefaultLatencyBuckets),
+		queries:       reg.Counter("core.query_total"),
+		queryFailures: reg.Counter("core.query_failures"),
+		querySeconds:  reg.Histogram("core.query_seconds", obs.DefaultLatencyBuckets),
+
+		queueDepth:    reg.Gauge("sched.queue_depth"),
+		inflightSeals: reg.Gauge("sched.inflight_seals"),
+		committed:     reg.Counter("sched.epochs_committed"),
+		failed:        reg.Counter("sched.epochs_failed"),
+		discarded:     reg.Counter("sched.epochs_discarded"),
+		epochSeconds:  reg.Histogram("sched.epoch_seconds", obs.DefaultLatencyBuckets),
+	}
+}
+
+// span opens a tracer span (inert on an unmetered prover).
+func (m *metrics) span(name string) obs.Span {
+	if m == nil {
+		return obs.Span{}
+	}
+	return m.tracer.Start(name)
+}
+
+// The helpers below are nil-receiver safe so instrumented code never
+// branches on "is metering on" itself.
+
+func (m *metrics) aggDone(seconds float64, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.aggFailures.Inc()
+		return
+	}
+	m.aggRounds.Inc()
+	m.aggSeconds.Observe(seconds)
+}
+
+func (m *metrics) queryDone(seconds float64, err error) {
+	if m == nil {
+		return
+	}
+	m.queries.Inc()
+	if err != nil {
+		m.queryFailures.Inc()
+		return
+	}
+	m.querySeconds.Observe(seconds)
+}
+
+func (m *metrics) epochQueued(delta int64) {
+	if m != nil {
+		m.queueDepth.Add(delta)
+	}
+}
+
+func (m *metrics) sealInFlight(delta int64) {
+	if m != nil {
+		m.inflightSeals.Add(delta)
+	}
+}
+
+func (m *metrics) epochCommitted(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.committed.Inc()
+	m.aggRounds.Inc()
+	m.epochSeconds.Observe(seconds)
+	m.aggSeconds.Observe(seconds)
+}
+
+func (m *metrics) epochFailed() {
+	if m == nil {
+		return
+	}
+	m.failed.Inc()
+	m.aggFailures.Inc()
+}
+
+func (m *metrics) epochDiscarded() {
+	if m != nil {
+		m.discarded.Inc()
+	}
+}

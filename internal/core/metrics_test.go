@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"zkflow/internal/obs"
+	"zkflow/internal/zkvm"
+)
+
+// TestPipelineMetrics runs a metered pipeline while a reader snapshots
+// concurrently (this is the scheduler half of the -race lane), then
+// checks the final ledger of gauges, counters, and histograms.
+func TestPipelineMetrics(t *testing.T) {
+	const epochs = 3
+	reg := obs.NewRegistry()
+	p, _ := pipelineWithOpts(t, 5, epochs, 8, Options{Checks: 6, PipelineDepth: 2, Metrics: reg})
+
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := reg.Snapshot()
+			if d := s.Gauges["sched.queue_depth"]; d < 0 || d > epochs {
+				t.Errorf("queue depth %d out of [0,%d]", d, epochs)
+				return
+			}
+			if f := s.Gauges["sched.inflight_seals"]; f < 0 || f > 2 {
+				t.Errorf("inflight seals %d out of [0,2]", f)
+				return
+			}
+		}
+	}()
+	if _, err := p.AggregateEpochs([]uint64{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	reader.Wait()
+
+	s := reg.Snapshot()
+	if got := s.Counters["sched.epochs_committed"]; got != epochs {
+		t.Fatalf("epochs_committed = %d, want %d", got, epochs)
+	}
+	if got := s.Counters["core.agg_rounds"]; got != epochs {
+		t.Fatalf("agg_rounds = %d, want %d", got, epochs)
+	}
+	if got := s.Counters["sched.epochs_failed"] + s.Counters["sched.epochs_discarded"]; got != 0 {
+		t.Fatalf("failed+discarded = %d, want 0", got)
+	}
+	if got := s.Gauges["sched.queue_depth"]; got != 0 {
+		t.Fatalf("queue_depth = %d after drain, want 0", got)
+	}
+	if got := s.Gauges["sched.inflight_seals"]; got != 0 {
+		t.Fatalf("inflight_seals = %d after drain, want 0", got)
+	}
+	if h := s.Histograms["sched.epoch_seconds"]; h.Count != epochs {
+		t.Fatalf("epoch_seconds count = %d, want %d", h.Count, epochs)
+	}
+	// Per-stage prover breakdown flows through ProveOptions.Observer:
+	// every sealed epoch reports the non-execute stages.
+	for _, stage := range []string{zkvm.StageTraceEncode, zkvm.StageMerkleCommit, zkvm.StageGrandProduct, zkvm.StageSeal} {
+		if h := s.Histograms["prover.stage."+stage+"_seconds"]; h.Count < epochs {
+			t.Fatalf("prover stage %q observed %d times, want >= %d", stage, h.Count, epochs)
+		}
+	}
+	// Tracer spans from the witness and seal stages.
+	if h := s.Histograms["trace.witness_seconds"]; h.Count != epochs {
+		t.Fatalf("witness spans = %d, want %d", h.Count, epochs)
+	}
+	if h := s.Histograms["trace.seal_seconds"]; h.Count != epochs {
+		t.Fatalf("seal spans = %d, want %d", h.Count, epochs)
+	}
+}
+
+// TestSerialAndQueryMetrics checks the unpipelined round and the query
+// path report, and that a metered prover pre-registers the scheduler
+// gauges (so /api/v1/metrics shows the full schema from round one).
+func TestSerialAndQueryMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	p, _ := pipelineWithOpts(t, 6, 1, 8, Options{Checks: 6, Metrics: reg})
+	if _, err := p.AggregateEpoch(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Query(`SELECT COUNT(*) FROM clogs;`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Query(`SELECT bogus`); err == nil {
+		t.Fatal("malformed query accepted")
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["core.agg_rounds"]; got != 1 {
+		t.Fatalf("agg_rounds = %d, want 1", got)
+	}
+	if got := s.Counters["core.query_total"]; got != 2 {
+		t.Fatalf("query_total = %d, want 2", got)
+	}
+	if got := s.Counters["core.query_failures"]; got != 1 {
+		t.Fatalf("query_failures = %d, want 1", got)
+	}
+	if h := s.Histograms["core.agg_seconds"]; h.Count != 1 {
+		t.Fatalf("agg_seconds count = %d, want 1", h.Count)
+	}
+	// The full prover stage set shows up via the serial zkvm.Prove path.
+	for _, stage := range zkvm.Stages {
+		if h := s.Histograms["prover.stage."+stage+"_seconds"]; h.Count == 0 {
+			t.Fatalf("prover stage %q never observed", stage)
+		}
+	}
+	// Scheduler gauges are pre-registered even though no pipeline ran.
+	for _, g := range []string{"sched.queue_depth", "sched.inflight_seals"} {
+		if _, ok := s.Gauges[g]; !ok {
+			t.Fatalf("gauge %q not pre-registered", g)
+		}
+	}
+}

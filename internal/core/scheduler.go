@@ -15,8 +15,10 @@ package core
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"zkflow/internal/clog"
 	"zkflow/internal/guest"
@@ -35,6 +37,7 @@ type SchedulerResult struct {
 // pendingEpoch travels from the witness stage to the commit stage.
 type pendingEpoch struct {
 	epoch   uint64
+	start   time.Time         // witness start, for sched.epoch_seconds
 	words   []uint32          // guest input tape (for remote sealing)
 	journal []uint32          // journal words from the witness execution
 	parsed  *guest.AggJournal // parsed form of journal
@@ -108,7 +111,10 @@ func NewScheduler(p *Prover, depth int) (*Scheduler, error) {
 
 // Submit queues an epoch for aggregation. It blocks while the
 // pipeline is full (backpressure) and must not be called after Close.
-func (s *Scheduler) Submit(epoch uint64) { s.submit <- epoch }
+func (s *Scheduler) Submit(epoch uint64) {
+	s.p.met.epochQueued(1)
+	s.submit <- epoch
+}
 
 // Results returns the ordered result stream. The channel closes after
 // Close once every submitted epoch has been committed or discarded.
@@ -146,10 +152,16 @@ func (s *Scheduler) witnessLoop() {
 		s.specEntries = pe.next
 		s.specHash = journalHash(pe.journal)
 		sealSlots <- struct{}{} // at most depth seals in flight
+		s.p.met.sealInFlight(1)
 		pe.sealed = make(chan sealOutcome, 1)
 		go func(pe *pendingEpoch, ex *zkvm.Execution) {
-			defer func() { <-sealSlots }()
+			defer func() {
+				s.p.met.sealInFlight(-1)
+				<-sealSlots
+			}()
+			span := s.p.met.span("seal")
 			receipt, err := s.p.sealWitness(ex, pe.words)
+			span.End()
 			pe.sealed <- sealOutcome{receipt: receipt, err: err}
 		}(pe, ex)
 		s.pending <- pe
@@ -158,7 +170,9 @@ func (s *Scheduler) witnessLoop() {
 
 // witness executes one epoch's guest against the speculative state.
 func (s *Scheduler) witness(epoch uint64) (*pendingEpoch, *zkvm.Execution) {
-	pe := &pendingEpoch{epoch: epoch}
+	span := s.p.met.span("witness")
+	defer span.End()
+	pe := &pendingEpoch{epoch: epoch, start: time.Now()}
 	agg, in, err := s.p.buildAggInput(epoch, s.specEntries, s.specHash)
 	if err != nil {
 		pe.err = err
@@ -208,6 +222,12 @@ func (s *Scheduler) commitLoop() {
 			pe.err = fmt.Errorf("%w (epoch %d failed: %v)", ErrPipelineAborted, pe.epoch, commitFailed)
 		}
 		if pe.err != nil {
+			if errors.Is(pe.err, ErrPipelineAborted) {
+				s.p.met.epochDiscarded()
+			} else {
+				s.p.met.epochFailed()
+			}
+			s.p.met.epochQueued(-1)
 			s.results <- SchedulerResult{Epoch: pe.epoch, Err: pe.err}
 			continue
 		}
@@ -219,6 +239,8 @@ func (s *Scheduler) commitLoop() {
 		}
 		if out.err != nil {
 			commitFailed = fmt.Errorf("core: aggregation proof for epoch %d: %w", pe.epoch, out.err)
+			s.p.met.epochFailed()
+			s.p.met.epochQueued(-1)
 			s.results <- SchedulerResult{Epoch: pe.epoch, Err: commitFailed}
 			continue
 		}
@@ -227,6 +249,8 @@ func (s *Scheduler) commitLoop() {
 		s.p.entries = pe.next
 		s.p.history = append(s.p.history, res)
 		s.p.mu.Unlock()
+		s.p.met.epochCommitted(time.Since(pe.start).Seconds())
+		s.p.met.epochQueued(-1)
 		s.results <- SchedulerResult{Epoch: pe.epoch, Result: res}
 	}
 }

@@ -1,0 +1,86 @@
+package netflow
+
+import (
+	"bytes"
+	"testing"
+)
+
+func fuzzSeedRecords() []Record {
+	return []Record{
+		{
+			Key:     FlowKey{SrcIP: MustParseIPv4("1.1.1.1"), DstIP: MustParseIPv4("9.9.9.9"), SrcPort: 443, DstPort: 51234, Proto: 6},
+			Packets: 100, Bytes: 52000, Dropped: 2, HopCount: 7,
+			RTTMicros: 12000, JitterMicros: 40, StartUnix: 1700000000, EndUnix: 1700000060, RouterID: 3,
+		},
+		{Key: FlowKey{Proto: 17}, Packets: 1},
+	}
+}
+
+// FuzzWireCodecs drives the record and batch wire decoders — the
+// collector-facing parsers — over arbitrary bytes: no panics, and
+// anything accepted re-encodes byte-for-byte.
+func FuzzWireCodecs(f *testing.F) {
+	recs := fuzzSeedRecords()
+	f.Add(EncodeBatch(recs))
+	f.Add(recs[0].Wire())
+	f.Add(recs[0].Wire()[:WireBytes-1])
+	f.Add([]byte{})
+	f.Add(make([]byte, 3*WireBytes))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if r, err := DecodeWire(data); err == nil {
+			if !bytes.Equal(r.Wire(), data[:WireBytes]) {
+				t.Fatal("record re-encode mismatch")
+			}
+		}
+		got, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeBatch(got), data) {
+			t.Fatal("batch re-encode mismatch")
+		}
+	})
+}
+
+// TestDecodeWireRejectsBadProtoWord pins the fuzz-found canonicality
+// bug: a wire record whose proto word has bits above the low byte
+// used to decode with the high bits silently dropped, so it
+// re-encoded differently. The decoder must reject it instead.
+func TestDecodeWireRejectsBadProtoWord(t *testing.T) {
+	r := fuzzSeedRecords()[0]
+	w := r.Wire()
+	w[13] = 0x30 // second byte of the little-endian proto word
+	if _, err := DecodeWire(w); err != ErrBadProtoWord {
+		t.Fatalf("DecodeWire = %v, want ErrBadProtoWord", err)
+	}
+	if _, err := DecodeBatch(w); err != ErrBadProtoWord {
+		t.Fatalf("DecodeBatch = %v, want ErrBadProtoWord", err)
+	}
+}
+
+// TestBatchCodecRoundTrip pins decode(encode(x)) == x for the record
+// and batch codecs on structured values.
+func TestBatchCodecRoundTrip(t *testing.T) {
+	recs := fuzzSeedRecords()
+	for i, r := range recs {
+		got, err := DecodeWire(r.Wire())
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != r {
+			t.Fatalf("record %d round-trip: %+v != %+v", i, got, r)
+		}
+	}
+	got, err := DecodeBatch(EncodeBatch(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("batch length %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("batch[%d] round-trip mismatch", i)
+		}
+	}
+}

@@ -122,6 +122,12 @@ const (
 // ErrShortRecord reports a truncated wire record.
 var ErrShortRecord = errors.New("netflow: short record")
 
+// ErrBadProtoWord reports a record whose proto word has bits set
+// above the low byte. Proto is a uint8; accepting such a record
+// would silently drop the high bits on re-encode, breaking the
+// canonical-encoding property the commitments rely on.
+var ErrBadProtoWord = errors.New("netflow: proto word exceeds one byte")
+
 // AppendWire appends the record's wire encoding to dst.
 func (r *Record) AppendWire(dst []byte) []byte {
 	var b [WireBytes]byte
@@ -143,6 +149,9 @@ func DecodeWire(b []byte) (Record, error) {
 	var w [RecordWords]uint32
 	for i := range w {
 		w[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	if w[3]>>8 != 0 {
+		return Record{}, ErrBadProtoWord
 	}
 	return FromWords(w), nil
 }

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanSink consumes finished spans. Implementations must be safe for
+// concurrent use; End calls sinks synchronously on the instrumented
+// goroutine, so sinks should be cheap.
+type SpanSink interface {
+	OnSpan(name string, start time.Time, d time.Duration)
+}
+
+// Tracer hands out spans and fans finished spans out to its sinks.
+// The zero value is usable and free: with no sinks attached, Start
+// returns an inert span whose End is a no-op branch.
+type Tracer struct {
+	mu    sync.RWMutex
+	sinks []SpanSink
+}
+
+// NewTracer creates a tracer over the given sinks.
+func NewTracer(sinks ...SpanSink) *Tracer {
+	return &Tracer{sinks: sinks}
+}
+
+// AddSink attaches a sink to all subsequently finished spans.
+func (t *Tracer) AddSink(s SpanSink) {
+	t.mu.Lock()
+	t.sinks = append(t.sinks, s)
+	t.mu.Unlock()
+}
+
+// Span is one timed region. It is a value, not a pointer: starting
+// and ending a span allocates nothing.
+type Span struct {
+	tracer *Tracer
+	name   string
+	start  time.Time
+}
+
+// Start opens a span. A nil tracer yields an inert span.
+func (t *Tracer) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tracer: t, name: name, start: time.Now()}
+}
+
+// End closes the span and reports it to every sink.
+func (s Span) End() {
+	if s.tracer == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.tracer.mu.RLock()
+	sinks := s.tracer.sinks
+	s.tracer.mu.RUnlock()
+	for _, sink := range sinks {
+		sink.OnSpan(s.name, s.start, d)
+	}
+}
+
+// RegistrySink records span durations as histograms named
+// <prefix><span-name>_seconds in a registry.
+type RegistrySink struct {
+	reg    *Registry
+	prefix string
+}
+
+// NewRegistrySink creates a sink writing into reg under prefix.
+func NewRegistrySink(reg *Registry, prefix string) *RegistrySink {
+	return &RegistrySink{reg: reg, prefix: prefix}
+}
+
+// OnSpan implements SpanSink.
+func (s *RegistrySink) OnSpan(name string, _ time.Time, d time.Duration) {
+	s.reg.Histogram(s.prefix+name+"_seconds", DefaultLatencyBuckets).Observe(d.Seconds())
+}
+
+// WriterSink prints one line per finished span — a debugging sink for
+// CLI tools.
+type WriterSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterSink creates a sink printing to w.
+func NewWriterSink(w io.Writer) *WriterSink { return &WriterSink{w: w} }
+
+// OnSpan implements SpanSink.
+func (s *WriterSink) OnSpan(name string, _ time.Time, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "span %-24s %10.3f ms\n", name, d.Seconds()*1000)
+}
+
+// StageRecorder adapts a Registry to the zkvm.StageObserver interface:
+// each prover stage lands in a histogram named
+// <prefix><stage>_seconds. One recorder may be shared by concurrent
+// proofs.
+type StageRecorder struct {
+	reg    *Registry
+	prefix string
+}
+
+// NewStageRecorder records stage timings under prefix (e.g.
+// "prover.stage.").
+func NewStageRecorder(reg *Registry, prefix string) *StageRecorder {
+	return &StageRecorder{reg: reg, prefix: prefix}
+}
+
+// ObserveStage implements the prover's stage-timing hook.
+func (r *StageRecorder) ObserveStage(stage string, d time.Duration) {
+	r.reg.Histogram(r.prefix+stage+"_seconds", DefaultLatencyBuckets).Observe(d.Seconds())
+}

@@ -1,0 +1,59 @@
+package remote
+
+import (
+	"bytes"
+	"testing"
+
+	"zkflow/internal/zkvm"
+)
+
+// FuzzDecodeRequest drives the proving-request decoder over arbitrary
+// bytes — this is the worker's network-facing parser, so it must
+// never panic — and checks accept implies exact re-encode (the
+// framing is canonical).
+func FuzzDecodeRequest(f *testing.F) {
+	valid := EncodeRequest(simpleProgram(), []uint32{20, 22}, zkvm.ProveOptions{Checks: 6, Segments: 2})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add(valid[:16])
+	f.Add([]byte{})
+	f.Add([]byte{0x77, 0x72, 0x6b, 0x7a}) // magic alone
+	huge := append([]byte(nil), valid...)
+	huge[12], huge[13], huge[14], huge[15] = 0xff, 0xff, 0xff, 0xff // program length lie
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, input, opts, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeRequest(prog, input, opts), data) {
+			t.Fatal("request re-encode mismatch")
+		}
+	})
+}
+
+// TestDecodeRequestRoundTrip pins decode(encode(x)) == x on a valid
+// request (the fuzz target only checks the reverse composition).
+func TestDecodeRequestRoundTrip(t *testing.T) {
+	prog := simpleProgram()
+	input := []uint32{7, 35, 0xffffffff}
+	opts := zkvm.ProveOptions{Checks: 48, Segments: 4}
+	gotProg, gotInput, gotOpts, err := DecodeRequest(EncodeRequest(prog, input, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotProg.ID() != prog.ID() {
+		t.Fatal("program did not round-trip")
+	}
+	if len(gotInput) != len(input) {
+		t.Fatalf("input length %d, want %d", len(gotInput), len(input))
+	}
+	for i := range input {
+		if gotInput[i] != input[i] {
+			t.Fatalf("input[%d] = %d, want %d", i, gotInput[i], input[i])
+		}
+	}
+	if gotOpts.Checks != opts.Checks || gotOpts.Segments != opts.Segments {
+		t.Fatalf("options = %+v, want %+v", gotOpts, opts)
+	}
+}

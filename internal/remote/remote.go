@@ -20,7 +20,9 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"time"
 
+	"zkflow/internal/obs"
 	"zkflow/internal/zkvm"
 )
 
@@ -86,41 +88,68 @@ func DecodeRequest(data []byte) (*zkvm.Program, []uint32, zkvm.ProveOptions, err
 // POST /prove with an EncodeRequest body returns the binary receipt,
 // 422 with the error text when the guest aborts or traps (tampered
 // inputs must surface as proving failures, not fake receipts).
-func WorkerHandler() http.Handler {
+//
+// The worker meters itself into reg (nil = a private registry):
+// worker.prove_requests / worker.bad_requests / worker.prove_failures
+// / worker.receipts_ok counters, a worker.prove_seconds histogram,
+// and the per-stage prover breakdown (prover.stage.*_seconds). The
+// snapshot is served at GET /metrics.
+func WorkerHandler(reg *obs.Registry) http.Handler {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	var (
+		requests   = reg.Counter("worker.prove_requests")
+		badReqs    = reg.Counter("worker.bad_requests")
+		failures   = reg.Counter("worker.prove_failures")
+		receiptsOK = reg.Counter("worker.receipts_ok")
+		proveSec   = reg.Histogram("worker.prove_seconds", obs.DefaultLatencyBuckets)
+		stages     = obs.NewStageRecorder(reg, "prover.stage.")
+	)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/prove", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
+		requests.Inc()
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequest))
 		if err != nil {
+			badReqs.Inc()
 			http.Error(w, "request too large", http.StatusRequestEntityTooLarge)
 			return
 		}
 		prog, input, opts, err := DecodeRequest(body)
 		if err != nil {
+			badReqs.Inc()
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		opts.Observer = stages
+		t0 := time.Now()
 		receipt, err := zkvm.Prove(prog, input, opts)
+		proveSec.Observe(time.Since(t0).Seconds())
 		if err != nil {
 			// Guest aborts and traps are semantic failures the caller
 			// must see verbatim.
+			failures.Inc()
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return
 		}
 		bin, err := receipt.MarshalBinary()
 		if err != nil {
+			failures.Inc()
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(bin)
+		receiptsOK.Inc()
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.Handle("/metrics", obs.MetricsHandler(reg))
 	return mux
 }
 
@@ -178,6 +207,6 @@ func (c *Client) Prove(prog *zkvm.Program, input []uint32, opts zkvm.ProveOption
 // Serve runs a worker until the listener fails.
 func Serve(addr string) error {
 	log.Printf("zkflow-worker listening on http://%s", addr)
-	srv := &http.Server{Addr: addr, Handler: WorkerHandler()}
+	srv := &http.Server{Addr: addr, Handler: WorkerHandler(nil)}
 	return srv.ListenAndServe()
 }

@@ -17,7 +17,7 @@ import (
 
 func worker(t *testing.T) *Client {
 	t.Helper()
-	ts := httptest.NewServer(WorkerHandler())
+	ts := httptest.NewServer(WorkerHandler(nil))
 	t.Cleanup(ts.Close)
 	return NewClient(ts.URL, ts.Client())
 }

@@ -1,0 +1,72 @@
+package zkvm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzReceiptBytes builds a small valid receipt for seeding the
+// corpus (Checks kept low so the seed stays compact).
+func fuzzReceiptBytes(f *testing.F) []byte {
+	f.Helper()
+	ex, err := Execute(sumProgram(), sumInput(8), ExecOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	r, err := ProveExecution(ex, ProveOptions{Checks: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := r.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzUnmarshalReceipt drives the receipt decoder over arbitrary
+// bytes: it must never panic, and anything it accepts must re-encode
+// to exactly the input (the encoding is canonical, so accept +
+// re-encode is the round-trip identity).
+func FuzzUnmarshalReceipt(f *testing.F) {
+	valid := fuzzReceiptBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:4])
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x66, 0x6b, 0x7a}) // magic alone
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/3] ^= 0xff
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalReceipt(data)
+		if err != nil {
+			return // rejected; the only requirement is no panic
+		}
+		out, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted receipt failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("re-encode mismatch: %d bytes in, %d out", len(data), len(out))
+		}
+	})
+}
+
+// FuzzDecodeProgram drives the instruction decoder: no panics, and
+// any accepted program re-encodes byte-for-byte.
+func FuzzDecodeProgram(f *testing.F) {
+	f.Add(sumProgram().Encode())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3}) // not a multiple of the instruction size
+	f.Add(make([]byte, 8)) // opcode 0 = invalid
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeProgram(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(p.Encode(), data) {
+			t.Fatal("program re-encode mismatch")
+		}
+	})
+}

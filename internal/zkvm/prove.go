@@ -34,6 +34,10 @@ type ProveOptions struct {
 	AllowNonZeroExit bool
 	// MaxSteps bounds the guest cycle budget (0 = default).
 	MaxSteps int
+	// Observer, when non-nil, receives per-stage timings (see Stages).
+	// It never affects the receipt bytes; a nil observer costs one
+	// branch per stage.
+	Observer StageObserver
 }
 
 // GuestAbortError reports a guest that halted with a nonzero exit
@@ -52,7 +56,9 @@ func (e *GuestAbortError) Error() string {
 // receipt. Trapped or aborted executions return an error and no
 // receipt — tampered telemetry cannot be proven.
 func Prove(prog *Program, input []uint32, opts ProveOptions) (*Receipt, error) {
+	execDone := stageTimer(opts.Observer, StageExecute)
 	ex, err := Execute(prog, input, ExecOptions{MaxSteps: opts.MaxSteps})
+	execDone()
 	if err != nil {
 		return nil, err
 	}
@@ -92,14 +98,21 @@ func proveExecutionSeeded(ex *Execution, opts ProveOptions, seed *[32]byte) (*Re
 	}
 	nMem := len(ex.MemLog)
 
+	// Address-order the memory log up front so the sort cost is
+	// attributed to its own stage and the three encode tasks below are
+	// symmetric.
+	sortDone := stageTimer(opts.Observer, StageMemSort)
+	sorted := sortedMemLog(ex.MemLog)
+	sortDone()
+
 	// Serialise all committed tables; the three tables are
 	// independent, so they encode concurrently on a split pool.
 	var (
 		rowPayloads     [][]byte
 		memProgPayloads [][]byte
 		memSortPayloads [][]byte
-		sorted          []MemEntry
 	)
+	encDone := stageTimer(opts.Observer, StageTraceEncode)
 	enc := pool.split(3)
 	pool.do(
 		func() {
@@ -119,7 +132,6 @@ func proveExecutionSeeded(ex *Execution, opts ProveOptions, seed *[32]byte) (*Re
 			})
 		},
 		func() {
-			sorted = sortedMemLog(ex.MemLog)
 			memSortPayloads = make([][]byte, nMem)
 			enc.forChunks(nMem, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
@@ -128,16 +140,19 @@ func proveExecutionSeeded(ex *Execution, opts ProveOptions, seed *[32]byte) (*Re
 			})
 		},
 	)
+	encDone()
 
 	// Phase 1 commitments (before the memory challenges): three
 	// independent trees, committed concurrently.
 	var execTree, memProgTree, memSortTree *merkle.Tree
+	commitDone := stageTimer(opts.Observer, StageMerkleCommit)
 	com := pool.split(3)
 	pool.do(
 		func() { execTree = commitLeaves(seed, treeExec, rowPayloads, segments, com) },
 		func() { memProgTree = commitLeaves(seed, treeMemProg, memProgPayloads, segments, com) },
 		func() { memSortTree = commitLeaves(seed, treeMemSort, memSortPayloads, segments, com) },
 	)
+	commitDone()
 
 	receipt := &Receipt{
 		ImageID:  ex.Program.ID(),
@@ -164,6 +179,7 @@ func proveExecutionSeeded(ex *Execution, opts ProveOptions, seed *[32]byte) (*Re
 	// product), encoded, and committed on half the pool.
 	var prodProgPayloads, prodSortPayloads [][]byte
 	var prodProgTree, prodSortTree *merkle.Tree
+	prodDone := stageTimer(opts.Observer, StageGrandProduct)
 	p2 := pool.split(2)
 	pool.do(
 		func() {
@@ -187,10 +203,14 @@ func proveExecutionSeeded(ex *Execution, opts ProveOptions, seed *[32]byte) (*Re
 			prodSortTree = commitLeaves(seed, treeProdSort, prodSortPayloads, segments, p2)
 		},
 	)
+	prodDone()
 	s.ProdProgRoot = prodProgTree.Root()
 	s.ProdSortRoot = prodSortTree.Root()
 	tr.Append("prodprog-root", s.ProdProgRoot[:])
 	tr.Append("prodsort-root", s.ProdSortRoot[:])
+
+	sealDone := stageTimer(opts.Observer, StageSeal)
+	defer sealDone()
 
 	open := func(t *merkle.Tree, label byte, payloads [][]byte, idx int) (Opening, error) {
 		proof, err := t.Prove(idx)

@@ -1,0 +1,50 @@
+package zkvm
+
+import "time"
+
+// Prover stage names, in pipeline order. These are the labels a
+// StageObserver receives and the histogram suffixes internal/obs
+// publishes (prover.stage.<name>_seconds); EXPERIMENTS.md records the
+// breakdown printed by `zkflow-bench -stages`.
+const (
+	// StageExecute is guest execution + trace recording (Prove only;
+	// ProveExecution starts from an already-traced run).
+	StageExecute = "execute"
+	// StageMemSort is the address-ordered re-sort of the memory log.
+	StageMemSort = "mem_sort"
+	// StageTraceEncode serialises the committed tables (trace rows and
+	// both memory-log orderings) into leaf payloads.
+	StageTraceEncode = "trace_encode"
+	// StageMerkleCommit builds the three phase-1 Merkle trees.
+	StageMerkleCommit = "merkle_commit"
+	// StageGrandProduct scans, encodes, and commits the two
+	// running-product columns under the (alpha, gamma) challenges.
+	StageGrandProduct = "grand_product"
+	// StageSeal assembles the receipt: boundary openings plus the
+	// Fiat–Shamir-sampled spot checks with their Merkle paths.
+	StageSeal = "seal"
+)
+
+// Stages lists every prover stage in pipeline order.
+var Stages = []string{
+	StageExecute, StageMemSort, StageTraceEncode,
+	StageMerkleCommit, StageGrandProduct, StageSeal,
+}
+
+// StageObserver receives per-stage prover timings. Implementations
+// must be safe for concurrent use: parallel proofs (worker pools,
+// pipelined epochs) report stages concurrently. obs.StageRecorder is
+// the standard registry-backed implementation.
+type StageObserver interface {
+	ObserveStage(stage string, d time.Duration)
+}
+
+// stageTimer times one stage against an optional observer; a nil
+// observer costs one branch.
+func stageTimer(o StageObserver, stage string) func() {
+	if o == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { o.ObserveStage(stage, time.Since(start)) }
+}

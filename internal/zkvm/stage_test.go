@@ -1,0 +1,82 @@
+package zkvm
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stageLog is a test StageObserver that records every stage report.
+type stageLog struct {
+	mu    sync.Mutex
+	seen  map[string]int
+	total time.Duration
+}
+
+func (l *stageLog) ObserveStage(stage string, d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seen == nil {
+		l.seen = make(map[string]int)
+	}
+	l.seen[stage]++
+	l.total += d
+}
+
+// TestProveReportsAllStages drives a proof with an observer attached
+// and checks every stage in Stages is reported exactly once with a
+// non-negative duration.
+func TestProveReportsAllStages(t *testing.T) {
+	var log stageLog
+	prog := sumProgram()
+	r, err := Prove(prog, sumInput(16), ProveOptions{Checks: 6, Observer: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(prog, r, VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range Stages {
+		if got := log.seen[stage]; got != 1 {
+			t.Errorf("stage %q reported %d times, want 1", stage, got)
+		}
+	}
+	if len(log.seen) != len(Stages) {
+		t.Errorf("observer saw %d stages, want %d: %v", len(log.seen), len(Stages), log.seen)
+	}
+	if log.total < 0 {
+		t.Errorf("negative total stage time %v", log.total)
+	}
+}
+
+// TestObserverDoesNotChangeReceipt pins that instrumentation is
+// byte-invisible: the same execution sealed with and without an
+// observer (same salt seed) yields identical receipts.
+func TestObserverDoesNotChangeReceipt(t *testing.T) {
+	prog := sumProgram()
+	ex, err := Execute(prog, sumInput(8), ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := &[32]byte{1, 2, 3}
+	plain, err := proveExecutionSeeded(ex, ProveOptions{Checks: 6}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := proveExecutionSeeded(ex, ProveOptions{Checks: 6, Observer: &stageLog{}}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := plain.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := observed.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb, ob) {
+		t.Fatal("observer changed the receipt bytes")
+	}
+}
