@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race fuzz check bench bench-parallel verify
+.PHONY: build vet test race fuzz check bench bench-parallel bench-commit verify
 
 build:
 	$(GO) build ./...
@@ -38,5 +38,13 @@ bench:
 # The worker-pool / pipeline benchmarks behind the determinism tests.
 bench-parallel:
 	$(GO) test -bench='ProveParallel|PipelinedAggregation' -run=^$$ .
+
+# Commit-path benchmarks with allocation counts: the zero-allocation
+# hash kernel, the Merkle arena build, and the fused prover pipeline.
+# Compare against the allocs/op recorded in EXPERIMENTS.md E14.
+bench-commit:
+	$(GO) test -bench='HashLevel|Leaf2' -benchmem -run=^$$ ./internal/hashk
+	$(GO) test -bench='BuildHashes|Build1024' -benchmem -run=^$$ ./internal/merkle
+	$(GO) test -bench='ProveParallel/parallelism=1' -benchmem -run=^$$ .
 
 verify: build vet test race

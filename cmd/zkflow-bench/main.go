@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -86,20 +87,38 @@ func aggregateOnce(in *guest.AggInput, checks int) (*zkvm.Receipt, []clog.Entry,
 
 const paperQuery = `SELECT SUM(hop_count) FROM clogs WHERE src_ip = "1.1.1.1" AND dst_ip = "9.9.9.9";`
 
-func expFig4(checks int, csvPath string) {
-	fmt.Println("=== E1 / Figure 4: proof generation latency vs. #records ===")
-	fmt.Println("(paper @3000: aggregation 87 min, query 16 min, verification flat ~3 ms on RISC Zero)")
-	fmt.Printf("%8s  %14s  %14s  %12s  %12s\n", "records", "agg proof", "query proof", "agg verify", "qry verify")
-	var csv *os.File
-	if csvPath != "" {
-		f, err := os.Create(csvPath)
-		if err != nil {
-			log.Fatalf("csv: %v", err)
-		}
-		defer f.Close()
-		fmt.Fprintln(f, "records,agg_proof_ms,query_proof_ms,agg_verify_ms,query_verify_ms")
-		csv = f
-	}
+// SweepRow is one record-count point of the E1 sweep (times in ms).
+// The field names are the BENCH_PR*.json schema zkflow-benchdiff
+// compares across PRs — do not rename lightly.
+type SweepRow struct {
+	Records      int     `json:"records"`
+	AggProofMs   float64 `json:"agg_proof_ms"`
+	QueryProofMs float64 `json:"query_proof_ms"`
+	AggVerifyMs  float64 `json:"agg_verify_ms"`
+	QryVerifyMs  float64 `json:"query_verify_ms"`
+}
+
+// StageSplit is the per-stage wall-time breakdown of one aggregation
+// proof (ms per zkvm stage label).
+type StageSplit struct {
+	Records int                `json:"records"`
+	WallMs  float64            `json:"wall_ms"`
+	Stages  map[string]float64 `json:"stages_ms"`
+}
+
+// BenchReport is the machine-readable output of -json: the E1 sweep
+// plus the stage split, with enough environment to interpret them.
+type BenchReport struct {
+	CPUs   int        `json:"cpus"`
+	Checks int        `json:"checks"`
+	Sweep  []SweepRow `json:"sweep"`
+	Stages StageSplit `json:"stages"`
+}
+
+// runSweep measures the E1/Figure-4 series and returns one row per
+// paper record count.
+func runSweep(checks int) []SweepRow {
+	rows := make([]SweepRow, 0, len(paperSizes))
 	for _, size := range paperSizes {
 		in := genesisInput(int64(size), size)
 		receipt, entries, aggGen, err := aggregateOnce(in, checks)
@@ -124,15 +143,40 @@ func expFig4(checks int, csvPath string) {
 		if err := zkvm.Verify(prog, qr, zkvm.VerifyOptions{}); err != nil {
 			log.Fatalf("size %d: query verify: %v", size, err)
 		}
-		qryVer := time.Since(t0)
+		rows = append(rows, SweepRow{
+			Records:      size,
+			AggProofMs:   ms(aggGen),
+			QueryProofMs: ms(qryGen),
+			AggVerifyMs:  ms(aggVer),
+			QryVerifyMs:  ms(time.Since(t0)),
+		})
+	}
+	return rows
+}
+
+func expFig4(checks int, csvPath string) []SweepRow {
+	fmt.Println("=== E1 / Figure 4: proof generation latency vs. #records ===")
+	fmt.Println("(paper @3000: aggregation 87 min, query 16 min, verification flat ~3 ms on RISC Zero)")
+	fmt.Printf("%8s  %14s  %14s  %12s  %12s\n", "records", "agg proof", "query proof", "agg verify", "qry verify")
+	rows := runSweep(checks)
+	for _, r := range rows {
 		fmt.Printf("%8d  %12.0f ms  %12.0f ms  %9.1f ms  %9.1f ms\n",
-			size, ms(aggGen), ms(qryGen), ms(aggVer), ms(qryVer))
-		if csv != nil {
-			fmt.Fprintf(csv, "%d,%.2f,%.2f,%.3f,%.3f\n",
-				size, ms(aggGen), ms(qryGen), ms(aggVer), ms(qryVer))
+			r.Records, r.AggProofMs, r.QueryProofMs, r.AggVerifyMs, r.QryVerifyMs)
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			log.Fatalf("csv: %v", err)
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "records,agg_proof_ms,query_proof_ms,agg_verify_ms,query_verify_ms")
+		for _, r := range rows {
+			fmt.Fprintf(f, "%d,%.2f,%.2f,%.3f,%.3f\n",
+				r.Records, r.AggProofMs, r.QueryProofMs, r.AggVerifyMs, r.QryVerifyMs)
 		}
 	}
 	fmt.Println()
+	return rows
 }
 
 func expTable1(checks int) {
@@ -357,9 +401,11 @@ func (c *stageCollector) ObserveStage(stage string, d time.Duration) {
 // is the same hook zkflowd feeds into /api/v1/metrics). Stage times
 // sum to slightly less than the wall clock (transcript work between
 // stages is unattributed).
-func expStages(checks int) {
-	fmt.Println("=== E13: per-stage prover breakdown (1000 records) ===")
-	in := genesisInput(3, 1000)
+// runStages measures one 1000-record aggregation proof's per-stage
+// split after a warm-up run.
+func runStages(checks int) StageSplit {
+	const records = 1000
+	in := genesisInput(3, records)
 	words := in.Words()
 	// Warm-up, so the measured run does not absorb one-time costs.
 	if _, err := zkvm.Prove(guest.AggregationProgram(), words, zkvm.ProveOptions{Checks: checks}); err != nil {
@@ -370,17 +416,27 @@ func expStages(checks int) {
 	if _, err := zkvm.Prove(guest.AggregationProgram(), words, zkvm.ProveOptions{Checks: checks, Observer: col}); err != nil {
 		log.Fatal(err)
 	}
-	wall := time.Since(t0)
-	fmt.Printf("%-16s  %12s  %7s\n", "stage", "time", "share")
-	var attributed time.Duration
+	split := StageSplit{Records: records, WallMs: ms(time.Since(t0)), Stages: map[string]float64{}}
 	for _, stage := range zkvm.Stages {
-		d := col.d[stage]
+		split.Stages[stage] = ms(col.d[stage])
+	}
+	return split
+}
+
+func expStages(checks int) StageSplit {
+	fmt.Println("=== E13: per-stage prover breakdown (1000 records) ===")
+	split := runStages(checks)
+	fmt.Printf("%-16s  %12s  %7s\n", "stage", "time", "share")
+	var attributed float64
+	for _, stage := range zkvm.Stages {
+		d := split.Stages[stage]
 		attributed += d
-		fmt.Printf("%-16s  %10.1f ms  %6.1f%%\n", stage, ms(d), 100*ms(d)/ms(wall))
+		fmt.Printf("%-16s  %10.1f ms  %6.1f%%\n", stage, d, 100*d/split.WallMs)
 	}
 	fmt.Printf("%-16s  %10.1f ms  %6.1f%% (transcript + bookkeeping)\n",
-		"unattributed", ms(wall-attributed), 100*ms(wall-attributed)/ms(wall))
-	fmt.Printf("%-16s  %10.1f ms\n\n", "wall", ms(wall))
+		"unattributed", split.WallMs-attributed, 100*(split.WallMs-attributed)/split.WallMs)
+	fmt.Printf("%-16s  %10.1f ms\n\n", "wall", split.WallMs)
+	return split
 }
 
 func expProfile() {
@@ -418,15 +474,31 @@ func kb(n int) float64           { return float64(n) / 1024 }
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|stages|all")
-		checks = flag.Int("checks", zkvm.DefaultChecks, "zkVM sampled checks per proof")
-		csv    = flag.String("csv", "", "write the Figure 4 series as CSV to this path")
-		stages = flag.Bool("stages", false, "shorthand for -exp stages: print the per-stage prover breakdown")
+		exp      = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|stages|all")
+		checks   = flag.Int("checks", zkvm.DefaultChecks, "zkVM sampled checks per proof")
+		csv      = flag.String("csv", "", "write the Figure 4 series as CSV to this path")
+		stages   = flag.Bool("stages", false, "shorthand for -exp stages: print the per-stage prover breakdown")
+		jsonPath = flag.String("json", "", "run the E1 sweep + stage split and write them as JSON to this path (see BENCH_PR4.json; compare runs with zkflow-benchdiff)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 
 	fmt.Printf("zkflow-bench: %d CPUs, checks=%d\n\n", runtime.GOMAXPROCS(0), *checks)
+	if *jsonPath != "" {
+		report := BenchReport{CPUs: runtime.GOMAXPROCS(0), Checks: *checks}
+		report.Sweep = expFig4(*checks, *csv)
+		report.Stages = expStages(*checks)
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatalf("json: %v", err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			log.Fatalf("json: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+		return
+	}
 	if *stages {
 		*exp = "stages"
 	}

@@ -1,0 +1,142 @@
+// Command zkflow-benchdiff compares two `zkflow-bench -json` reports
+// (e.g. BENCH_PR4.json against a fresh run) and flags regressions:
+//
+//	zkflow-benchdiff old.json new.json
+//	zkflow-benchdiff -threshold 15 old.json new.json
+//
+// Every proving-time metric (sweep columns and per-stage wall time)
+// that got slower by more than the threshold (default 10%) is listed
+// and the tool exits nonzero, so CI can gate future PRs on the
+// committed baseline. Verification times are compared but, being
+// sub-millisecond, only reported informationally — timer noise at
+// that scale would make the gate flap.
+//
+// Stdlib only: this is meant to run in the same bare container as the
+// benchmarks themselves.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// The types mirror cmd/zkflow-bench's BenchReport schema.
+
+type sweepRow struct {
+	Records      int     `json:"records"`
+	AggProofMs   float64 `json:"agg_proof_ms"`
+	QueryProofMs float64 `json:"query_proof_ms"`
+	AggVerifyMs  float64 `json:"agg_verify_ms"`
+	QryVerifyMs  float64 `json:"query_verify_ms"`
+}
+
+type stageSplit struct {
+	Records int                `json:"records"`
+	WallMs  float64            `json:"wall_ms"`
+	Stages  map[string]float64 `json:"stages_ms"`
+}
+
+type benchReport struct {
+	CPUs   int        `json:"cpus"`
+	Checks int        `json:"checks"`
+	Sweep  []sweepRow `json:"sweep"`
+	Stages stageSplit `json:"stages"`
+}
+
+func load(path string) (*benchReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// delta formats the relative change and reports whether it exceeds
+// the regression threshold (newer slower than older by > threshold%).
+func delta(oldMs, newMs, threshold float64) (string, bool) {
+	if oldMs <= 0 {
+		return "   n/a", false
+	}
+	pct := 100 * (newMs - oldMs) / oldMs
+	return fmt.Sprintf("%+6.1f%%", pct), pct > threshold
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: zkflow-benchdiff [-threshold pct] old.json new.json")
+		os.Exit(2)
+	}
+	oldR, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newR, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if oldR.CPUs != newR.CPUs || oldR.Checks != newR.Checks {
+		fmt.Printf("note: environments differ (old: %d CPUs checks=%d, new: %d CPUs checks=%d) — deltas may not be comparable\n",
+			oldR.CPUs, oldR.Checks, newR.CPUs, newR.Checks)
+	}
+
+	var regressions []string
+	gate := func(name string, oldMs, newMs float64) string {
+		d, bad := delta(oldMs, newMs, *threshold)
+		if bad {
+			regressions = append(regressions, fmt.Sprintf("%s: %.1f ms -> %.1f ms (%s)", name, oldMs, newMs, d))
+		}
+		return d
+	}
+
+	oldByRecords := map[int]sweepRow{}
+	for _, r := range oldR.Sweep {
+		oldByRecords[r.Records] = r
+	}
+	fmt.Printf("%8s  %22s  %22s\n", "records", "agg proof old->new", "query proof old->new")
+	for _, n := range newR.Sweep {
+		o, ok := oldByRecords[n.Records]
+		if !ok {
+			fmt.Printf("%8d  (no baseline)\n", n.Records)
+			continue
+		}
+		name := fmt.Sprintf("sweep[%d]", n.Records)
+		ad := gate(name+".agg_proof", o.AggProofMs, n.AggProofMs)
+		qd := gate(name+".query_proof", o.QueryProofMs, n.QueryProofMs)
+		fmt.Printf("%8d  %6.0f -> %-6.0f %s  %6.0f -> %-6.0f %s\n",
+			n.Records, o.AggProofMs, n.AggProofMs, ad, o.QueryProofMs, n.QueryProofMs, qd)
+	}
+
+	if oldR.Stages.WallMs > 0 && newR.Stages.WallMs > 0 {
+		fmt.Printf("\n%-16s  %22s\n", "stage", "old->new")
+		for stage, newMs := range newR.Stages.Stages {
+			oldMs, ok := oldR.Stages.Stages[stage]
+			if !ok {
+				fmt.Printf("%-16s  (no baseline)\n", stage)
+				continue
+			}
+			d, _ := delta(oldMs, newMs, *threshold)
+			fmt.Printf("%-16s  %7.1f -> %-7.1f %s\n", stage, oldMs, newMs, d)
+		}
+		d := gate("stages.wall", oldR.Stages.WallMs, newR.Stages.WallMs)
+		fmt.Printf("%-16s  %7.1f -> %-7.1f %s\n", "wall", oldR.Stages.WallMs, newR.Stages.WallMs, d)
+	}
+
+	if len(regressions) > 0 {
+		fmt.Printf("\nREGRESSIONS (> %.0f%% slower):\n", *threshold)
+		for _, r := range regressions {
+			fmt.Println("  " + r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nno proving-time regressions > %.0f%%\n", *threshold)
+}

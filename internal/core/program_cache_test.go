@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+
+	"zkflow/internal/guest"
+)
+
+// TestPipelineSharedProgramCache drives concurrent pipelined epochs —
+// every sealing slot binds its receipt to the shared aggregation
+// guest's cached image commitment — and checks each committed receipt
+// carries exactly that commitment and still verifies. The interesting
+// assertion is under `make race`: concurrent ID() hits on the shared
+// program must be clean.
+func TestPipelineSharedProgramCache(t *testing.T) {
+	p, v := pipelineWithOpts(t, 11, 4, 8, Options{Checks: 6, PipelineDepth: 3})
+	want := guest.AggregationProgram().ID()
+	results, err := p.AggregateEpochs([]uint64{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Receipt.ImageID != want {
+			t.Fatalf("epoch %d receipt image %v, want cached commitment %v", r.Epoch, r.Receipt.ImageID, want)
+		}
+		if _, err := v.VerifyAggregation(r.Receipt); err != nil {
+			t.Fatalf("epoch %d: %v", r.Epoch, err)
+		}
+	}
+}

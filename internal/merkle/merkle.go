@@ -21,17 +21,25 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+
+	"zkflow/internal/hashk"
 )
 
 // Hash is a SHA-256 digest.
 type Hash [32]byte
 
-// String renders the first 8 bytes of the digest in hex.
-func (h Hash) String() string { return fmt.Sprintf("%x", h[:8]) }
+// String renders the first 8 bytes of the digest in hex. It avoids
+// fmt so hot-path logging/snapshotting does not pay reflection costs.
+func (h Hash) String() string { return hex.EncodeToString(h[:8]) }
 
-// MarshalJSON encodes the hash as a hex string.
+// MarshalJSON encodes the hash as a hex string. One fixed-size
+// allocation (the returned buffer), no fmt machinery.
 func (h Hash) MarshalJSON() ([]byte, error) {
-	return []byte(fmt.Sprintf("%q", hex.EncodeToString(h[:]))), nil
+	out := make([]byte, 2*len(h)+2)
+	out[0] = '"'
+	hex.Encode(out[1:], h[:])
+	out[len(out)-1] = '"'
+	return out, nil
 }
 
 // UnmarshalJSON decodes a hex string hash.
@@ -59,34 +67,77 @@ var (
 )
 
 // emptyHash pads trees whose leaf count is not a power of two.
-var emptyHash = sha256.Sum256([]byte("zkflow/merkle/empty-leaf/v1"))
+var emptyHash = Hash(sha256.Sum256([]byte("zkflow/merkle/empty-leaf/v1")))
+
+// maxDepth bounds tree height (leaf counts fit in an int).
+const maxDepth = 63
+
+// padHashes[l] is the root of an all-padding subtree of height l:
+// padHashes[0] is the empty leaf hash and each level doubles it.
+// Computed once at init (2 KB), it lets tree building skip hashing
+// every node whose subtree is entirely padding — for a leaf count just
+// above a power of two that is nearly half of all node hashes.
+var padHashes = func() [maxDepth + 1]Hash {
+	var out [maxDepth + 1]Hash
+	out[0] = emptyHash
+	for l := 1; l <= maxDepth; l++ {
+		out[l] = hashk.Node(out[l-1], out[l-1])
+	}
+	return out
+}()
+
+// PaddingHash returns the hash of an all-padding subtree of height
+// level (level 0 is the empty leaf hash).
+func PaddingHash(level int) Hash { return padHashes[level] }
 
 // LeafHash hashes raw leaf data with the leaf domain prefix.
-func LeafHash(data []byte) Hash {
-	h := sha256.New()
-	h.Write([]byte{0x00})
-	h.Write(data)
-	var out Hash
-	h.Sum(out[:0])
-	return out
-}
+// Zero-allocation for payloads under hashk.ScratchBytes.
+func LeafHash(data []byte) Hash { return hashk.Leaf[Hash](data) }
 
 // NodeHash combines two child hashes with the node domain prefix.
-func NodeHash(left, right Hash) Hash {
-	h := sha256.New()
-	h.Write([]byte{0x01})
-	h.Write(left[:])
-	h.Write(right[:])
-	var out Hash
-	h.Sum(out[:0])
-	return out
-}
+// Zero-allocation.
+func NodeHash(left, right Hash) Hash { return hashk.Node(left, right) }
 
 // Tree is an immutable-by-default Merkle tree (Update mutates in place).
 type Tree struct {
 	nLeaves int
 	// levels[0] is the padded leaf level; levels[len-1] is [root].
 	levels [][]Hash
+	// arena is the flat backing store of levels, recyclable via Release.
+	arena []Hash
+}
+
+// arenaPool recycles node arenas across tree builds. A build writes
+// every arena slot (real nodes are hashed or copied in, padding nodes
+// come from the padding table), so a dirty recycled arena produces a
+// node-for-node identical tree — TestReleasedArenaReuse pins that.
+// Large proofs build tens of MB of tree per seal; reusing the arena
+// keeps that out of the allocator and skips the runtime's zeroing of
+// fresh large objects.
+var arenaPool sync.Pool
+
+func getArena(n int) []Hash {
+	if v := arenaPool.Get(); v != nil {
+		a := *v.(*[]Hash)
+		if cap(a) >= n {
+			return a[:n]
+		}
+	}
+	return make([]Hash, n)
+}
+
+// Release returns the tree's node storage to an internal pool for
+// reuse by later builds and leaves the tree unusable (any further
+// method call panics). Call it only when nothing aliases the tree's
+// hashes; proofs are safe — Prove, ProveRange, and Leaf all copy.
+func (t *Tree) Release() {
+	if t.arena == nil {
+		return
+	}
+	a := t.arena
+	t.arena = nil
+	t.levels = nil
+	arenaPool.Put(&a)
 }
 
 // parallelThreshold is the per-level node count below which tree
@@ -121,26 +172,64 @@ func BuildHashes(leafHashes []Hash) *Tree { return BuildHashesParallel(leafHashe
 
 // BuildHashesParallel is BuildHashes with an explicit worker bound:
 // 0 means GOMAXPROCS, 1 forces the serial path.
+//
+// All node storage comes from one flat arena (2*size-1 hashes), so a
+// whole tree build costs a small constant number of allocations
+// regardless of leaf count (asserted by TestBuildHashesConstantAllocs).
+// Nodes whose subtree is entirely padding are filled from the
+// precomputed padding table instead of being hashed; the resulting
+// tree is node-for-node identical to hashing them (padHashes is
+// exactly that fixpoint), which the golden receipt vector pins.
 func BuildHashesParallel(leafHashes []Hash, workers int) *Tree {
-	n := len(leafHashes)
+	return BuildLeavesParallel(len(leafHashes), workers, func(leaves []Hash) {
+		copy(leaves, leafHashes)
+	})
+}
+
+// BuildLeavesParallel constructs a tree over n leaf hashes that fill
+// writes directly into the tree's arena-backed leaf level. It exists
+// for streaming commit pipelines (zkvm.commitStream): hashing leaves
+// straight into the arena skips the intermediate []Hash table and its
+// copy entirely. fill may fan out across goroutines; it must fill all
+// n entries before returning. The tree is identical to
+// BuildHashesParallel over the same hashes.
+func BuildLeavesParallel(n, workers int, fill func(leaves []Hash)) *Tree {
 	size := 1
+	depth := 0
 	for size < n {
 		size <<= 1
+		depth++
 	}
-	level := make([]Hash, size)
-	copy(level, leafHashes)
+	arena := getArena(2*size - 1)
+	level := arena[:size]
+	fill(level[:n])
 	for i := n; i < size; i++ {
 		level[i] = emptyHash
 	}
-	t := &Tree{nLeaves: n, levels: [][]Hash{level}}
-	for len(level) > 1 {
-		next := make([]Hash, len(level)/2)
+	t := &Tree{nLeaves: n, levels: make([][]Hash, 1, depth+1), arena: arena}
+	t.levels[0] = level
+	off := size
+	filled := n // nodes of the current level with a non-padding subtree
+	for lvl := 1; len(level) > 1; lvl++ {
+		next := arena[off : off+len(level)/2]
+		off += len(level) / 2
 		src := level
-		forChunks(len(next), workers, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				next[i] = NodeHash(src[2*i], src[2*i+1])
-			}
-		})
+		// Only nodes with at least one real child need hashing; the
+		// rest are roots of all-padding subtrees. Narrow/serial levels
+		// hash inline — building the fan-out closure would itself
+		// allocate once per level.
+		nf := (filled + 1) / 2
+		if workers == 1 || nf < parallelThreshold {
+			hashk.HashLevel(next[:nf], src[:2*nf])
+		} else {
+			forChunks(nf, workers, func(lo, hi int) {
+				hashk.HashLevel(next[lo:hi], src[2*lo:2*hi])
+			})
+		}
+		for i := nf; i < len(next); i++ {
+			next[i] = padHashes[lvl]
+		}
+		filled = nf
 		t.levels = append(t.levels, next)
 		level = next
 	}

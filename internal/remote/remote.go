@@ -61,7 +61,9 @@ func DecodeRequest(data []byte) (*zkvm.Program, []uint32, zkvm.ProveOptions, err
 	opts.Segments = int(binary.LittleEndian.Uint32(data[8:]))
 	progLen := binary.LittleEndian.Uint32(data[12:])
 	off := 16
-	if uint32(len(data)-off) < progLen {
+	// Length checks are done in int (64-bit): comparing in uint32 lets
+	// a huge count wrap (4*nIn overflows) and walk past the buffer.
+	if len(data)-off < int(progLen) {
 		return nil, nil, opts, ErrBadRequest
 	}
 	prog, err := zkvm.DecodeProgram(data[off : off+int(progLen)])
@@ -74,7 +76,7 @@ func DecodeRequest(data []byte) (*zkvm.Program, []uint32, zkvm.ProveOptions, err
 	}
 	nIn := binary.LittleEndian.Uint32(data[off:])
 	off += 4
-	if uint32(len(data)-off) != 4*nIn {
+	if len(data)-off != 4*int(nIn) {
 		return nil, nil, opts, ErrBadRequest
 	}
 	input := make([]uint32, nIn)

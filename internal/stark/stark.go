@@ -115,7 +115,10 @@ func Prove(a air.AIR, trace [][]field.Elem, tr *transcript.Transcript, params Pa
 		coeffs := poly.Interpolate(col)
 		lde[c] = poly.CosetEval(coeffs, shift, domain)
 	}
-	// Row-wise commitment.
+	// Row-wise commitment. Rows are serialised into one reused scratch
+	// buffer and hashed straight into the leaf — no per-row []field.Elem
+	// or []byte intermediates survive the loop (fresh buffers are only
+	// built below for the ~q opened query rows).
 	leafHashes := make([]merkle.Hash, domain)
 	rowVals := func(i int) []field.Elem {
 		out := make([]field.Elem, cols)
@@ -124,8 +127,12 @@ func Prove(a air.AIR, trace [][]field.Elem, tr *transcript.Transcript, params Pa
 		}
 		return out
 	}
+	rowBuf := make([]byte, 8*cols)
 	for i := 0; i < domain; i++ {
-		leafHashes[i] = merkle.LeafHash(rowLeaf(rowVals(i)))
+		for c := 0; c < cols; c++ {
+			binary.LittleEndian.PutUint64(rowBuf[8*c:], uint64(lde[c][i]))
+		}
+		leafHashes[i] = merkle.LeafHash(rowBuf)
 	}
 	traceTree := merkle.BuildHashes(leafHashes)
 	root := traceTree.Root()
@@ -136,8 +143,15 @@ func Prove(a air.AIR, trace [][]field.Elem, tr *transcript.Transcript, params Pa
 	bnds := a.Boundaries(n)
 	alphas := tr.ChallengeElems("alphas", nLocal+nTrans+len(bnds))
 
-	// Composition evaluation over the LDE domain.
-	comp, err := composition(a, n, domain, step, alphas, bnds, func(i int) []field.Elem { return rowVals(i) })
+	// Composition evaluation over the LDE domain. The row accessor
+	// fills caller-owned scratch, so the domain-wide scan reuses two
+	// row buffers instead of allocating 2*domain of them.
+	rowInto := func(i int, dst []field.Elem) {
+		for c := 0; c < cols; c++ {
+			dst[c] = lde[c][i]
+		}
+	}
+	comp, err := composition(a, n, domain, step, alphas, bnds, rowInto)
 	if err != nil {
 		return nil, err
 	}
@@ -173,8 +187,10 @@ func Prove(a air.AIR, trace [][]field.Elem, tr *transcript.Transcript, params Pa
 }
 
 // composition evaluates the random-linear constraint combination over
-// the whole LDE domain (prover side) using the row accessor.
-func composition(a air.AIR, n, domain, step int, alphas []field.Elem, bnds []air.Boundary, row func(int) []field.Elem) ([]field.Elem, error) {
+// the whole LDE domain (prover side). row fills dst with the LDE row
+// at index i; the scan owns two scratch rows it reuses for every
+// domain point.
+func composition(a air.AIR, n, domain, step int, alphas []field.Elem, bnds []air.Boundary, row func(i int, dst []field.Elem)) ([]field.Elem, error) {
 	logD := 0
 	for 1<<logD < domain {
 		logD++
@@ -217,10 +233,13 @@ func composition(a air.AIR, n, domain, step int, alphas []field.Elem, bnds []air
 	nLocal, nTrans := a.NumLocal(), a.NumTransition()
 	localOut := make([]field.Elem, nLocal)
 	transOut := make([]field.Elem, nTrans)
+	cols := a.NumColumns()
+	curr := make([]field.Elem, cols)
+	next := make([]field.Elem, cols)
 	comp := make([]field.Elem, domain)
 	for i := 0; i < domain; i++ {
-		curr := row(i)
-		next := row((i + step) % domain)
+		row(i, curr)
+		row((i+step)%domain, next)
 		var acc field.Elem
 		ai := 0
 		if nLocal > 0 {

@@ -44,22 +44,41 @@ func FromBytes(h merkle.Hash) Digest {
 	return d
 }
 
+// hashScratchWords is the stack fast-path bound of HashWords: inputs
+// up to this many words pack into a stack buffer and hash with zero
+// allocations. CLog entry leaves and internal nodes are far below it.
+const hashScratchWords = 128
+
 // HashWords hashes a word slice (little-endian packed), exactly as the
-// SysHash precompile does.
+// SysHash precompile does. Zero allocations for inputs up to
+// hashScratchWords words.
 func HashWords(words []uint32) Digest {
-	buf := make([]byte, 4*len(words))
+	if len(words) <= hashScratchWords {
+		var scratch [4 * hashScratchWords]byte
+		return hashPacked(scratch[:], words)
+	}
+	return hashPacked(make([]byte, 4*len(words)), words)
+}
+
+func hashPacked(buf []byte, words []uint32) Digest {
+	buf = buf[:4*len(words)]
 	for i, w := range words {
 		binary.LittleEndian.PutUint32(buf[4*i:], w)
 	}
 	return FromBytes(sha256.Sum256(buf))
 }
 
-// Node hashes two child digests (16 words).
+// Node hashes two child digests (16 words) with zero allocations —
+// host-side root predictions fold whole trees through this.
 func Node(l, r Digest) Digest {
-	var words [16]uint32
-	copy(words[:8], l[:])
-	copy(words[8:], r[:])
-	return HashWords(words[:])
+	var buf [64]byte
+	for i, w := range l {
+		binary.LittleEndian.PutUint32(buf[4*i:], w)
+	}
+	for i, w := range r {
+		binary.LittleEndian.PutUint32(buf[32+4*i:], w)
+	}
+	return FromBytes(sha256.Sum256(buf[:]))
 }
 
 // LeafDigests hashes each entry's words into its leaf digest.

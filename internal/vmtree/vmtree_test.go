@@ -2,6 +2,7 @@ package vmtree
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"testing"
 
 	"zkflow/internal/merkle"
@@ -107,4 +108,35 @@ func TestHashWordsMatchesSysHashConvention(t *testing.T) {
 
 func sum256(b []byte) [32]byte {
 	return sha256.Sum256(b)
+}
+
+// TestHashWordsMatchesPacked pins the stack fast path against the
+// reference packing for sizes straddling the scratch boundary, and
+// that the hot hashing paths stay off the allocator.
+func TestHashWordsMatchesPacked(t *testing.T) {
+	for _, n := range []int{0, 1, 7, hashScratchWords, hashScratchWords + 1, 4 * hashScratchWords} {
+		words := make([]uint32, n)
+		for i := range words {
+			words[i] = uint32(i * 2654435761)
+		}
+		buf := make([]byte, 4*n)
+		for i, w := range words {
+			binary.LittleEndian.PutUint32(buf[4*i:], w)
+		}
+		if HashWords(words) != FromBytes(sha256.Sum256(buf)) {
+			t.Fatalf("HashWords(%d words) diverges from packed reference", n)
+		}
+	}
+}
+
+func TestNodeAndHashWordsZeroAllocs(t *testing.T) {
+	l := HashWords([]uint32{1})
+	r := HashWords([]uint32{2})
+	words := make([]uint32, 16)
+	if allocs := testing.AllocsPerRun(100, func() { _ = Node(l, r) }); allocs != 0 {
+		t.Errorf("Node allocates %v per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = HashWords(words) }); allocs != 0 {
+		t.Errorf("HashWords allocates %v per run, want 0", allocs)
+	}
 }

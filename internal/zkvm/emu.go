@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Row is one execution-trace row: the machine state *before* the step
@@ -57,6 +58,73 @@ var ErrStepLimit = errors.New("zkvm: step limit exceeded")
 
 // maxHashWords bounds a single SysHash request.
 const maxHashWords = 1 << 24
+
+// Slab pools for the execution-trace tables. A 1000-record
+// aggregation trace is ~400k rows (~32 MB); allocating it fresh per
+// proof costs the runtime a full zeroing pass plus append-growth
+// copies. Prove recycles the slabs of executions it created itself
+// (releaseExecution); externally-supplied executions are never pooled.
+var (
+	rowSlabPool sync.Pool // *[]Row
+	memSlabPool sync.Pool // *[]MemEntry
+)
+
+func getRowSlab() []Row {
+	if v := rowSlabPool.Get(); v != nil {
+		return (*v.(*[]Row))[:0]
+	}
+	return nil
+}
+
+func putRowSlab(s []Row) {
+	if cap(s) > 0 {
+		s = s[:0]
+		rowSlabPool.Put(&s)
+	}
+}
+
+func getMemSlab() []MemEntry {
+	if v := memSlabPool.Get(); v != nil {
+		return (*v.(*[]MemEntry))[:0]
+	}
+	return nil
+}
+
+func putMemSlab(s []MemEntry) {
+	if cap(s) > 0 {
+		s = s[:0]
+		memSlabPool.Put(&s)
+	}
+}
+
+// releaseExecution returns the trace slabs of an internally-created
+// execution to the pools. Only call it when the execution (and
+// everything aliasing its slices) is dead; the receipt never aliases
+// them — openings re-encode rows into fresh buffers and the journal
+// is copied.
+func releaseExecution(ex *Execution) {
+	putRowSlab(ex.Rows)
+	putMemSlab(ex.MemLog)
+	ex.Rows, ex.MemLog = nil, nil
+}
+
+// appendDoubling is append with capacity-doubling growth. The runtime
+// grows large slices by only ~1.25x, so an N-row trace built with bare
+// append memmoves ~4N bytes through growslice; doubling bounds the
+// total copy traffic at N. Trace and memory logs reach tens of MB, so
+// this is a measurable slice of serial proving time (E14).
+func appendDoubling[T any](s []T, v T) []T {
+	if len(s) == cap(s) {
+		newCap := 2 * cap(s)
+		if newCap < 1024 {
+			newCap = 1024
+		}
+		grown := make([]T, len(s), newCap)
+		copy(grown, s)
+		s = grown
+	}
+	return append(s, v)
+}
 
 // execEnv supplies the step function with its value sources. The
 // emulator backs it with real memory and the input tape; the verifier
@@ -248,13 +316,13 @@ type emuEnv struct {
 
 func (e *emuEnv) load(addr uint32) (uint32, error) {
 	v := e.mem[addr]
-	e.memLog = append(e.memLog, MemEntry{Addr: addr, Val: v, Seq: uint32(len(e.memLog)), Step: e.step})
+	e.memLog = appendDoubling(e.memLog, MemEntry{Addr: addr, Val: v, Seq: uint32(len(e.memLog)), Step: e.step})
 	return v, nil
 }
 
 func (e *emuEnv) store(addr, val uint32) error {
 	e.mem[addr] = val
-	e.memLog = append(e.memLog, MemEntry{Addr: addr, Val: val, Seq: uint32(len(e.memLog)), Step: e.step, IsWrite: true})
+	e.memLog = appendDoubling(e.memLog, MemEntry{Addr: addr, Val: val, Seq: uint32(len(e.memLog)), Step: e.step, IsWrite: true})
 	return nil
 }
 
@@ -294,21 +362,25 @@ func Execute(prog *Program, input []uint32, opts ExecOptions) (*Execution, error
 	if maxSteps == 0 {
 		maxSteps = DefaultMaxSteps
 	}
-	env := &emuEnv{mem: make(map[uint32]uint32), input: input}
+	env := &emuEnv{mem: make(map[uint32]uint32), input: input, memLog: getMemSlab()}
 	var (
 		pc   uint32
 		regs [NumRegs]uint32
-		rows []Row
 	)
+	rows := getRowSlab()
 	for stepNo := 0; ; stepNo++ {
 		if stepNo >= maxSteps {
+			putRowSlab(rows)
+			putMemSlab(env.memLog)
 			return nil, ErrStepLimit
 		}
 		row := Row{PC: pc, Regs: regs, MemPtr: uint32(len(env.memLog)), InPtr: uint32(env.inPtr), JPtr: uint32(len(env.journal))}
-		rows = append(rows, row)
+		rows = appendDoubling(rows, row)
 		env.step = uint32(stepNo)
 		nextPC, nextRegs, _, halted, err := step(prog, &row, env)
 		if err != nil {
+			putRowSlab(rows)
+			putMemSlab(env.memLog)
 			return nil, &TrapError{PC: pc, Step: stepNo, Reason: err.Error()}
 		}
 		if halted {

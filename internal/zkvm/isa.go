@@ -26,6 +26,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // Op is a TinyRISC opcode.
@@ -169,9 +170,18 @@ func DecodeInstr(b [instrSize]byte) (Instr, error) {
 }
 
 // Program is a TinyRISC program: a flat instruction sequence starting
-// execution at index 0.
+// execution at index 0. Programs are immutable once built (the
+// assembler and decoder both return finished programs); Instrs must
+// not be mutated after the first ID() call.
 type Program struct {
 	Instrs []Instr
+
+	// id memoizes the image commitment. The scheduler proves and
+	// verifies the same guest every epoch, and each Prove/Verify pair
+	// recomputed SHA-256 over the full encoding; the atomic makes the
+	// cache safe under concurrent sealing slots. Benign race: two
+	// first callers both compute the same digest and one store wins.
+	id atomic.Pointer[ImageID]
 }
 
 // Encode serialises the program (8 bytes per instruction).
@@ -210,7 +220,14 @@ type ImageID [32]byte
 // String renders the leading bytes in hex.
 func (id ImageID) String() string { return fmt.Sprintf("%x", id[:8]) }
 
-// ID computes the program's image ID.
+// ID returns the program's image ID, computing it on first call and
+// serving every later call from the cache (epochs re-prove the same
+// guest, and both the prover and verifier bind to the ID).
 func (p *Program) ID() ImageID {
-	return ImageID(sha256.Sum256(p.Encode()))
+	if cached := p.id.Load(); cached != nil {
+		return *cached
+	}
+	id := ImageID(sha256.Sum256(p.Encode()))
+	p.id.Store(&id)
+	return id
 }

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"fmt"
 
+	"zkflow/internal/field"
 	"zkflow/internal/merkle"
 	"zkflow/internal/transcript"
 )
@@ -63,9 +64,15 @@ func Prove(prog *Program, input []uint32, opts ProveOptions) (*Receipt, error) {
 		return nil, err
 	}
 	if ex.ExitCode != 0 && !opts.AllowNonZeroExit {
-		return nil, &GuestAbortError{ExitCode: ex.ExitCode, Journal: ex.Journal}
+		abort := &GuestAbortError{ExitCode: ex.ExitCode, Journal: ex.Journal}
+		releaseExecution(ex)
+		return nil, abort
 	}
-	return ProveExecution(ex, opts)
+	receipt, err := ProveExecution(ex, opts)
+	// The execution was created here and the receipt does not alias its
+	// trace slices, so their slabs can go back to the pool.
+	releaseExecution(ex)
+	return receipt, err
 }
 
 // ProveExecution seals an already-traced execution.
@@ -105,52 +112,28 @@ func proveExecutionSeeded(ex *Execution, opts ProveOptions, seed *[32]byte) (*Re
 	sorted := sortedMemLog(ex.MemLog)
 	sortDone()
 
-	// Serialise all committed tables; the three tables are
-	// independent, so they encode concurrently on a split pool.
-	var (
-		rowPayloads     [][]byte
-		memProgPayloads [][]byte
-		memSortPayloads [][]byte
-	)
-	encDone := stageTimer(opts.Observer, StageTraceEncode)
-	enc := pool.split(3)
-	pool.do(
-		func() {
-			rowPayloads = make([][]byte, nRows)
-			enc.forChunks(nRows, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					rowPayloads[i] = encodeRow(&ex.Rows[i])
-				}
-			})
-		},
-		func() {
-			memProgPayloads = make([][]byte, nMem)
-			enc.forChunks(nMem, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					memProgPayloads[i] = encodeMemEntry(&ex.MemLog[i])
-				}
-			})
-		},
-		func() {
-			memSortPayloads = make([][]byte, nMem)
-			enc.forChunks(nMem, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					memSortPayloads[i] = encodeMemEntry(&sorted[i])
-				}
-			})
-		},
-	)
-	encDone()
-
 	// Phase 1 commitments (before the memory challenges): three
-	// independent trees, committed concurrently.
+	// independent trees, committed concurrently. Encoding is fused into
+	// the commit — commitStream serialises each row into per-goroutine
+	// scratch and hashes it straight into the salted leaf, so no
+	// payload table is ever materialized; openings below re-encode
+	// their rows on demand.
 	var execTree, memProgTree, memSortTree *merkle.Tree
 	commitDone := stageTimer(opts.Observer, StageMerkleCommit)
 	com := pool.split(3)
 	pool.do(
-		func() { execTree = commitLeaves(seed, treeExec, rowPayloads, segments, com) },
-		func() { memProgTree = commitLeaves(seed, treeMemProg, memProgPayloads, segments, com) },
-		func() { memSortTree = commitLeaves(seed, treeMemSort, memSortPayloads, segments, com) },
+		func() {
+			execTree = commitStream(seed, treeExec, nRows, rowBytes, segments, com,
+				func(i int, dst []byte) { encodeRowInto(dst, &ex.Rows[i]) })
+		},
+		func() {
+			memProgTree = commitStream(seed, treeMemProg, nMem, memBytes, segments, com,
+				func(i int, dst []byte) { encodeMemEntryInto(dst, &ex.MemLog[i]) })
+		},
+		func() {
+			memSortTree = commitStream(seed, treeMemSort, nMem, memBytes, segments, com,
+				func(i int, dst []byte) { encodeMemEntryInto(dst, &sorted[i]) })
+		},
 	)
 	commitDone()
 
@@ -176,31 +159,23 @@ func proveExecutionSeeded(ex *Execution, opts ProveOptions, seed *[32]byte) (*Re
 
 	// Phase 2: running products under (alpha, gamma). The two product
 	// columns are independent; each is scanned (parallel prefix
-	// product), encoded, and committed on half the pool.
-	var prodProgPayloads, prodSortPayloads [][]byte
+	// product) and committed on half the pool. The field-element
+	// columns are kept (8 bytes/row) for the openings; the encoded
+	// leaf payloads are not.
+	var prodProg, prodSort []field.Elem
 	var prodProgTree, prodSortTree *merkle.Tree
 	prodDone := stageTimer(opts.Observer, StageGrandProduct)
 	p2 := pool.split(2)
 	pool.do(
 		func() {
-			prodProg := runningProducts(ex.MemLog, alpha, gamma, p2)
-			prodProgPayloads = make([][]byte, nMem)
-			p2.forChunks(nMem, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					prodProgPayloads[i] = encodeProd(prodProg[i])
-				}
-			})
-			prodProgTree = commitLeaves(seed, treeProdProg, prodProgPayloads, segments, p2)
+			prodProg = runningProducts(ex.MemLog, alpha, gamma, p2)
+			prodProgTree = commitStream(seed, treeProdProg, nMem, prodBytes, segments, p2,
+				func(i int, dst []byte) { encodeProdInto(dst, prodProg[i]) })
 		},
 		func() {
-			prodSort := runningProducts(sorted, alpha, gamma, p2)
-			prodSortPayloads = make([][]byte, nMem)
-			p2.forChunks(nMem, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					prodSortPayloads[i] = encodeProd(prodSort[i])
-				}
-			})
-			prodSortTree = commitLeaves(seed, treeProdSort, prodSortPayloads, segments, p2)
+			prodSort = runningProducts(sorted, alpha, gamma, p2)
+			prodSortTree = commitStream(seed, treeProdSort, nMem, prodBytes, segments, p2,
+				func(i int, dst []byte) { encodeProdInto(dst, prodSort[i]) })
 		},
 	)
 	prodDone()
@@ -212,7 +187,17 @@ func proveExecutionSeeded(ex *Execution, opts ProveOptions, seed *[32]byte) (*Re
 	sealDone := stageTimer(opts.Observer, StageSeal)
 	defer sealDone()
 
-	open := func(t *merkle.Tree, label byte, payloads [][]byte, idx int) (Opening, error) {
+	// Openings re-encode their rows on demand: the commit streamed the
+	// payloads through scratch buffers, so only the ~k opened rows ever
+	// get a heap payload. Encoding is deterministic, so the re-encoded
+	// bytes are exactly what was hashed into the committed leaf.
+	encRow := func(i int) []byte { return encodeRow(&ex.Rows[i]) }
+	encMemProg := func(i int) []byte { return encodeMemEntry(&ex.MemLog[i]) }
+	encMemSort := func(i int) []byte { return encodeMemEntry(&sorted[i]) }
+	encProdProg := func(i int) []byte { return encodeProd(prodProg[i]) }
+	encProdSort := func(i int) []byte { return encodeProd(prodSort[i]) }
+
+	open := func(t *merkle.Tree, label byte, enc func(int) []byte, idx int) (Opening, error) {
 		proof, err := t.Prove(idx)
 		if err != nil {
 			return Opening{}, fmt.Errorf("zkvm: opening leaf %d: %w", idx, err)
@@ -220,12 +205,12 @@ func proveExecutionSeeded(ex *Execution, opts ProveOptions, seed *[32]byte) (*Re
 		return Opening{
 			Index: idx,
 			Salt:  deriveSalt(seed, label, idx),
-			Data:  payloads[idx],
+			Data:  enc(idx),
 			Path:  proof.Path,
 		}, nil
 	}
-	mustOpen := func(t *merkle.Tree, label byte, payloads [][]byte, idx int) Opening {
-		o, err := open(t, label, payloads, idx)
+	mustOpen := func(t *merkle.Tree, label byte, enc func(int) []byte, idx int) Opening {
+		o, err := open(t, label, enc, idx)
 		if err != nil {
 			panic(err) // indices are derived from committed lengths
 		}
@@ -233,28 +218,28 @@ func proveExecutionSeeded(ex *Execution, opts ProveOptions, seed *[32]byte) (*Re
 	}
 
 	// Boundary openings.
-	s.FirstRow = mustOpen(execTree, treeExec, rowPayloads, 0)
-	s.LastRow = mustOpen(execTree, treeExec, rowPayloads, nRows-1)
+	s.FirstRow = mustOpen(execTree, treeExec, encRow, 0)
+	s.LastRow = mustOpen(execTree, treeExec, encRow, nRows-1)
 	if nMem > 0 {
-		s.MemProgFirst = mustOpen(memProgTree, treeMemProg, memProgPayloads, 0)
-		s.MemSortFirst = mustOpen(memSortTree, treeMemSort, memSortPayloads, 0)
-		s.ProdProgFirst = mustOpen(prodProgTree, treeProdProg, prodProgPayloads, 0)
-		s.ProdSortFirst = mustOpen(prodSortTree, treeProdSort, prodSortPayloads, 0)
-		s.ProdProgLast = mustOpen(prodProgTree, treeProdProg, prodProgPayloads, nMem-1)
-		s.ProdSortLast = mustOpen(prodSortTree, treeProdSort, prodSortPayloads, nMem-1)
+		s.MemProgFirst = mustOpen(memProgTree, treeMemProg, encMemProg, 0)
+		s.MemSortFirst = mustOpen(memSortTree, treeMemSort, encMemSort, 0)
+		s.ProdProgFirst = mustOpen(prodProgTree, treeProdProg, encProdProg, 0)
+		s.ProdSortFirst = mustOpen(prodSortTree, treeProdSort, encProdSort, 0)
+		s.ProdProgLast = mustOpen(prodProgTree, treeProdProg, encProdProg, nMem-1)
+		s.ProdSortLast = mustOpen(prodSortTree, treeProdSort, encProdSort, nMem-1)
 	}
 
 	// Sampled checks, in the exact order the verifier will derive.
 	if nRows >= 2 {
 		for _, i := range tr.ChallengeIndices("exec", checks, nRows-1) {
 			c := ExecCheck{
-				RowI: mustOpen(execTree, treeExec, rowPayloads, i),
-				RowJ: mustOpen(execTree, treeExec, rowPayloads, i+1),
+				RowI: mustOpen(execTree, treeExec, encRow, i),
+				RowJ: mustOpen(execTree, treeExec, encRow, i+1),
 			}
 			lo := ex.Rows[i].MemPtr
 			hi := ex.Rows[i+1].MemPtr
 			for m := lo; m < hi; m++ {
-				c.Mem = append(c.Mem, mustOpen(memProgTree, treeMemProg, memProgPayloads, int(m)))
+				c.Mem = append(c.Mem, mustOpen(memProgTree, treeMemProg, encMemProg, int(m)))
 			}
 			s.ExecChecks = append(s.ExecChecks, c)
 		}
@@ -262,20 +247,29 @@ func proveExecutionSeeded(ex *Execution, opts ProveOptions, seed *[32]byte) (*Re
 	if nMem >= 2 {
 		for _, i := range tr.ChallengeIndices("prod", checks, nMem-1) {
 			s.ProdChecks = append(s.ProdChecks, ProdCheck{
-				Entry: mustOpen(memProgTree, treeMemProg, memProgPayloads, i+1),
-				ProdI: mustOpen(prodProgTree, treeProdProg, prodProgPayloads, i),
-				ProdJ: mustOpen(prodProgTree, treeProdProg, prodProgPayloads, i+1),
+				Entry: mustOpen(memProgTree, treeMemProg, encMemProg, i+1),
+				ProdI: mustOpen(prodProgTree, treeProdProg, encProdProg, i),
+				ProdJ: mustOpen(prodProgTree, treeProdProg, encProdProg, i+1),
 			})
 		}
 		for _, i := range tr.ChallengeIndices("sort", checks, nMem-1) {
 			s.SortChecks = append(s.SortChecks, SortCheck{
-				EntryI: mustOpen(memSortTree, treeMemSort, memSortPayloads, i),
-				EntryJ: mustOpen(memSortTree, treeMemSort, memSortPayloads, i+1),
-				ProdI:  mustOpen(prodSortTree, treeProdSort, prodSortPayloads, i),
-				ProdJ:  mustOpen(prodSortTree, treeProdSort, prodSortPayloads, i+1),
+				EntryI: mustOpen(memSortTree, treeMemSort, encMemSort, i),
+				EntryJ: mustOpen(memSortTree, treeMemSort, encMemSort, i+1),
+				ProdI:  mustOpen(prodSortTree, treeProdSort, encProdSort, i),
+				ProdJ:  mustOpen(prodSortTree, treeProdSort, encProdSort, i+1),
 			})
 		}
 	}
+
+	// Everything below the roots and openings is copied into the
+	// receipt, so the scratch tables can be recycled for the next proof.
+	putMemSlab(sorted)
+	execTree.Release()
+	memProgTree.Release()
+	memSortTree.Release()
+	prodProgTree.Release()
+	prodSortTree.Release()
 	return receipt, nil
 }
 

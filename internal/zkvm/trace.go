@@ -1,14 +1,16 @@
 package zkvm
 
 import (
+	"cmp"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"zkflow/internal/field"
+	"zkflow/internal/hashk"
 	"zkflow/internal/merkle"
 )
 
@@ -18,11 +20,15 @@ const (
 	memBytes  = 4 + 4 + 4 + 4 + 1         // Addr, Val, Seq, Step, IsWrite
 	prodBytes = 8                         // one field element
 	saltBytes = 16
+	// maxLeafBytes bounds every committed leaf payload; commitStream
+	// sizes its per-goroutine stack scratch with it.
+	maxLeafBytes = rowBytes
 )
 
-// encodeRow serialises a trace row.
-func encodeRow(r *Row) []byte {
-	b := make([]byte, rowBytes)
+// encodeRowInto serialises a trace row into b (len >= rowBytes).
+// Allocation-free so the commit pipeline can stream rows through a
+// reused scratch buffer.
+func encodeRowInto(b []byte, r *Row) {
 	binary.LittleEndian.PutUint32(b[0:], r.PC)
 	for i, v := range r.Regs {
 		binary.LittleEndian.PutUint32(b[4+4*i:], v)
@@ -31,6 +37,13 @@ func encodeRow(r *Row) []byte {
 	binary.LittleEndian.PutUint32(b[off:], r.MemPtr)
 	binary.LittleEndian.PutUint32(b[off+4:], r.InPtr)
 	binary.LittleEndian.PutUint32(b[off+8:], r.JPtr)
+}
+
+// encodeRow serialises a trace row into a fresh buffer (used only for
+// the ~k opened rows, re-encoded on demand).
+func encodeRow(r *Row) []byte {
+	b := make([]byte, rowBytes)
+	encodeRowInto(b, r)
 	return b
 }
 
@@ -51,16 +64,25 @@ func decodeRow(b []byte) (Row, error) {
 	return r, nil
 }
 
-// encodeMemEntry serialises a memory-log entry.
-func encodeMemEntry(e *MemEntry) []byte {
-	b := make([]byte, memBytes)
+// encodeMemEntryInto serialises a memory-log entry into b
+// (len >= memBytes), allocation-free.
+func encodeMemEntryInto(b []byte, e *MemEntry) {
 	binary.LittleEndian.PutUint32(b[0:], e.Addr)
 	binary.LittleEndian.PutUint32(b[4:], e.Val)
 	binary.LittleEndian.PutUint32(b[8:], e.Seq)
 	binary.LittleEndian.PutUint32(b[12:], e.Step)
 	if e.IsWrite {
 		b[16] = 1
+	} else {
+		b[16] = 0
 	}
+}
+
+// encodeMemEntry serialises a memory-log entry into a fresh buffer
+// (openings only).
+func encodeMemEntry(e *MemEntry) []byte {
+	b := make([]byte, memBytes)
+	encodeMemEntryInto(b, e)
 	return b
 }
 
@@ -81,10 +103,17 @@ func decodeMemEntry(b []byte) (MemEntry, error) {
 	return e, nil
 }
 
-// encodeProd serialises a running-product element.
+// encodeProdInto serialises a running-product element into b
+// (len >= prodBytes), allocation-free.
+func encodeProdInto(b []byte, p field.Elem) {
+	binary.LittleEndian.PutUint64(b, uint64(p))
+}
+
+// encodeProd serialises a running-product element into a fresh buffer
+// (openings only).
 func encodeProd(p field.Elem) []byte {
 	b := make([]byte, prodBytes)
-	binary.LittleEndian.PutUint64(b, uint64(p))
+	encodeProdInto(b, p)
 	return b
 }
 
@@ -114,12 +143,11 @@ func deriveSalt(seed *[32]byte, treeLabel byte, index int) [saltBytes]byte {
 	return salt
 }
 
-// saltedLeafHash is the committed hash of (salt || payload).
+// saltedLeafHash is the committed hash of (salt || payload), hashed
+// without materializing the concatenation (zero allocations for every
+// committed leaf shape in this package).
 func saltedLeafHash(salt [saltBytes]byte, payload []byte) merkle.Hash {
-	buf := make([]byte, 0, saltBytes+len(payload))
-	buf = append(buf, salt[:]...)
-	buf = append(buf, payload...)
-	return merkle.LeafHash(buf)
+	return hashk.Leaf2[merkle.Hash](salt[:], payload)
 }
 
 // Tree labels for salt domain separation.
@@ -131,19 +159,55 @@ const (
 	treeProdSort
 )
 
-// commitLeaves builds a salted Merkle tree over the payloads, hashing
-// leaves in parallel across segments goroutines (the §7 "partition the
-// workload, merge partial proofs" path: each segment's subtree is a
-// partial commitment merged by the upper tree levels). The tree's
-// internal levels are built with pool-wide chunked fan-out.
-func commitLeaves(seed *[32]byte, label byte, payloads [][]byte, segments int, pool *workerPool) *merkle.Tree {
-	n := len(payloads)
-	hashes := make([]merkle.Hash, n)
-	if segments <= 1 || n < 2*segments {
-		for i, p := range payloads {
-			hashes[i] = saltedLeafHash(deriveSalt(seed, label, i), p)
+// commitStream builds a salted Merkle tree over n leaves without ever
+// materializing the leaf payload table: encode(i, dst) serialises row
+// i into a per-goroutine scratch buffer and the (salt || payload) leaf
+// hash streams straight out of it. This fuses the old trace_encode
+// stage into the commit — the only payload bytes that outlive the call
+// are the ~k Fiat–Shamir-opened rows, re-encoded on demand by the
+// opening path.
+//
+// Leaf hashing fans out across segments goroutines (the §7 "partition
+// the workload, merge partial proofs" path: each segment's subtree is
+// a partial commitment merged by the upper tree levels), and the
+// tree's internal levels are built with pool-wide chunked fan-out.
+// Chunking is purely index-partitioned, so the tree is byte-identical
+// at any segment count.
+func commitStream(seed *[32]byte, label byte, n, leafBytes, segments int, pool *workerPool, encode func(i int, dst []byte)) *merkle.Tree {
+	return merkle.BuildLeavesParallel(n, pool.workers, func(hashes []merkle.Hash) {
+		hashLeaves(seed, label, leafBytes, segments, hashes, encode)
+	})
+}
+
+// hashLeaves fills hashes[i] with the salted leaf hash of row i,
+// fanning out across segments goroutines.
+func hashLeaves(seed *[32]byte, label byte, leafBytes, segments int, hashes []merkle.Hash, encode func(i int, dst []byte)) {
+	n := len(hashes)
+	hashSeg := func(lo, hi int) {
+		// Both hash inputs are assembled once per segment and patched
+		// per row: the salt preimage (seed || label || index) only
+		// changes in its index bytes, and the leaf message
+		// (0x00 || salt || payload) is encoded into in place. The
+		// resulting bytes are exactly deriveSalt + saltedLeafHash —
+		// TestCommitStreamConstantAllocs pins the equivalence — but
+		// with no per-row scratch zeroing or payload copies.
+		var saltPre [32 + 1 + 8]byte
+		copy(saltPre[:32], seed[:])
+		saltPre[32] = label
+		var leafMsg [1 + saltBytes + maxLeafBytes]byte
+		leafMsg[0] = hashk.LeafPrefix
+		msg := leafMsg[: 1+saltBytes+leafBytes : 1+saltBytes+maxLeafBytes]
+		for i := lo; i < hi; i++ {
+			binary.LittleEndian.PutUint64(saltPre[33:], uint64(i))
+			salt := sha256.Sum256(saltPre[:])
+			copy(msg[1:1+saltBytes], salt[:saltBytes])
+			encode(i, msg[1+saltBytes:])
+			hashes[i] = hashk.SumAssembled[merkle.Hash](msg)
 		}
-		return merkle.BuildHashesParallel(hashes, pool.workers)
+	}
+	if segments <= 1 || n < 2*segments {
+		hashSeg(0, n)
+		return
 	}
 	var wg sync.WaitGroup
 	chunk := (n + segments - 1) / segments
@@ -159,13 +223,10 @@ func commitLeaves(seed *[32]byte, label byte, payloads [][]byte, segments int, p
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				hashes[i] = saltedLeafHash(deriveSalt(seed, label, i), payloads[i])
-			}
+			hashSeg(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
-	return merkle.BuildHashesParallel(hashes, pool.workers)
 }
 
 // defaultSegments picks the proving fan-out from the host CPU count.
@@ -178,15 +239,25 @@ func defaultSegments() int {
 }
 
 // sortedMemLog returns the memory log ordered by (Addr, Seq) — the
-// layout the memory-consistency rules are checked on.
+// layout the memory-consistency rules are checked on. Seq is unique,
+// so the (Addr, Seq) key is a strict total order and the result is the
+// same permutation under any correct sort; slices.SortFunc is used
+// over sort.Slice to keep reflection-based swaps out of the hot path.
+// The copy comes from the slab pool; the caller releases it with
+// putMemSlab once the openings are done.
 func sortedMemLog(log []MemEntry) []MemEntry {
-	out := make([]MemEntry, len(log))
+	out := getMemSlab()
+	if cap(out) < len(log) {
+		out = make([]MemEntry, len(log))
+	} else {
+		out = out[:len(log)]
+	}
 	copy(out, log)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Addr != out[j].Addr {
-			return out[i].Addr < out[j].Addr
+	slices.SortFunc(out, func(a, b MemEntry) int {
+		if a.Addr != b.Addr {
+			return cmp.Compare(a.Addr, b.Addr)
 		}
-		return out[i].Seq < out[j].Seq
+		return cmp.Compare(a.Seq, b.Seq)
 	})
 	return out
 }
