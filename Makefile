@@ -13,10 +13,11 @@ test:
 	$(GO) test ./...
 
 # Race lane: the packages that fan work out across goroutines — the
-# prover worker pool, the epoch pipeline, the metrics registry, and
-# the HTTP layer.
+# prover worker pool, the segmented (continuation) proving crew, the
+# epoch pipeline, the retrying remote dispatcher, the metrics
+# registry, and the HTTP layer.
 race:
-	$(GO) test -race ./internal/zkvm ./internal/core ./internal/api ./internal/merkle ./internal/obs
+	$(GO) test -race ./internal/zkvm ./internal/core ./internal/api ./internal/remote ./internal/merkle ./internal/obs
 
 # Fuzz lane: each network/storage-facing decoder gets a short
 # randomized run on top of its committed seed + regression corpus.
@@ -42,9 +43,14 @@ bench-parallel:
 # Commit-path benchmarks with allocation counts: the zero-allocation
 # hash kernel, the Merkle arena build, and the fused prover pipeline.
 # Compare against the allocs/op recorded in EXPERIMENTS.md E14.
+# Finishes by regenerating the committed benchmark baseline
+# (BENCH_PR5.json: E1 sweep + stage split + E15 continuation sweep);
+# gate a branch against it with
+# `zkflow-benchdiff BENCH_PR5.json fresh.json`.
 bench-commit:
 	$(GO) test -bench='HashLevel|Leaf2' -benchmem -run=^$$ ./internal/hashk
 	$(GO) test -bench='BuildHashes|Build1024' -benchmem -run=^$$ ./internal/merkle
 	$(GO) test -bench='ProveParallel/parallelism=1' -benchmem -run=^$$ .
+	$(GO) run ./cmd/zkflow-bench -json BENCH_PR5.json
 
 verify: build vet test race

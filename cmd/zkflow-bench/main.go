@@ -69,10 +69,12 @@ func genesisInput(seed int64, records int) *guest.AggInput {
 }
 
 // aggregateOnce proves one aggregation round and returns the receipt
-// and the resulting CLog entries.
-func aggregateOnce(in *guest.AggInput, checks int) (*zkvm.Receipt, []clog.Entry, time.Duration, error) {
+// and the resulting CLog entries. segCycles > 0 proves a continuation
+// chain (composite receipt) instead of a single segment.
+func aggregateOnce(in *guest.AggInput, checks, segCycles int) (zkvm.AnyReceipt, []clog.Entry, time.Duration, error) {
 	t0 := time.Now()
-	receipt, err := zkvm.Prove(guest.AggregationProgram(), in.Words(), zkvm.ProveOptions{Checks: checks})
+	receipt, err := zkvm.ProveAny(guest.AggregationProgram(), in.Words(),
+		zkvm.ProveOptions{Checks: checks, SegmentCycles: segCycles})
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -96,6 +98,21 @@ type SweepRow struct {
 	QueryProofMs float64 `json:"query_proof_ms"`
 	AggVerifyMs  float64 `json:"agg_verify_ms"`
 	QryVerifyMs  float64 `json:"query_verify_ms"`
+	// AggSegments is the number of continuation segments in the
+	// aggregation receipt (1 = single-segment proving).
+	AggSegments int `json:"agg_segments"`
+}
+
+// ContRow is one point of the E15 continuation sweep: the same
+// 2000-record aggregation proved with a given segment length and
+// prover parallelism.
+type ContRow struct {
+	SegmentCycles int     `json:"segment_cycles"`
+	Parallelism   int     `json:"parallelism"`
+	Segments      int     `json:"segments"`
+	AggProofMs    float64 `json:"agg_proof_ms"`
+	AggVerifyMs   float64 `json:"agg_verify_ms"`
+	ReceiptKB     float64 `json:"receipt_kb"`
 }
 
 // StageSplit is the per-stage wall-time breakdown of one aggregation
@@ -107,26 +124,38 @@ type StageSplit struct {
 }
 
 // BenchReport is the machine-readable output of -json: the E1 sweep
-// plus the stage split, with enough environment to interpret them.
+// plus the stage split and the E15 continuation sweep, with enough
+// environment to interpret them.
 type BenchReport struct {
-	CPUs   int        `json:"cpus"`
-	Checks int        `json:"checks"`
-	Sweep  []SweepRow `json:"sweep"`
-	Stages StageSplit `json:"stages"`
+	CPUs          int        `json:"cpus"`
+	Checks        int        `json:"checks"`
+	SegmentCycles int        `json:"segment_cycles,omitempty"`
+	Sweep         []SweepRow `json:"sweep"`
+	Stages        StageSplit `json:"stages"`
+	Continuations []ContRow  `json:"continuations,omitempty"`
+}
+
+// numSegments reports the continuation segment count of a receipt (1
+// for single-segment receipts).
+func numSegments(r zkvm.AnyReceipt) int {
+	if c, ok := r.(*zkvm.CompositeReceipt); ok {
+		return c.NumSegments()
+	}
+	return 1
 }
 
 // runSweep measures the E1/Figure-4 series and returns one row per
 // paper record count.
-func runSweep(checks int) []SweepRow {
+func runSweep(checks, segCycles int) []SweepRow {
 	rows := make([]SweepRow, 0, len(paperSizes))
 	for _, size := range paperSizes {
 		in := genesisInput(int64(size), size)
-		receipt, entries, aggGen, err := aggregateOnce(in, checks)
+		receipt, entries, aggGen, err := aggregateOnce(in, checks, segCycles)
 		if err != nil {
 			log.Fatalf("size %d: %v", size, err)
 		}
 		t0 := time.Now()
-		if err := zkvm.Verify(guest.AggregationProgram(), receipt, zkvm.VerifyOptions{}); err != nil {
+		if err := zkvm.VerifyAny(guest.AggregationProgram(), receipt, zkvm.VerifyOptions{}); err != nil {
 			log.Fatalf("size %d: agg verify: %v", size, err)
 		}
 		aggVer := time.Since(t0)
@@ -149,19 +178,20 @@ func runSweep(checks int) []SweepRow {
 			QueryProofMs: ms(qryGen),
 			AggVerifyMs:  ms(aggVer),
 			QryVerifyMs:  ms(time.Since(t0)),
+			AggSegments:  numSegments(receipt),
 		})
 	}
 	return rows
 }
 
-func expFig4(checks int, csvPath string) []SweepRow {
+func expFig4(checks, segCycles int, csvPath string) []SweepRow {
 	fmt.Println("=== E1 / Figure 4: proof generation latency vs. #records ===")
 	fmt.Println("(paper @3000: aggregation 87 min, query 16 min, verification flat ~3 ms on RISC Zero)")
-	fmt.Printf("%8s  %14s  %14s  %12s  %12s\n", "records", "agg proof", "query proof", "agg verify", "qry verify")
-	rows := runSweep(checks)
+	fmt.Printf("%8s  %14s  %14s  %12s  %12s  %9s\n", "records", "agg proof", "query proof", "agg verify", "qry verify", "segments")
+	rows := runSweep(checks, segCycles)
 	for _, r := range rows {
-		fmt.Printf("%8d  %12.0f ms  %12.0f ms  %9.1f ms  %9.1f ms\n",
-			r.Records, r.AggProofMs, r.QueryProofMs, r.AggVerifyMs, r.QryVerifyMs)
+		fmt.Printf("%8d  %12.0f ms  %12.0f ms  %9.1f ms  %9.1f ms  %9d\n",
+			r.Records, r.AggProofMs, r.QueryProofMs, r.AggVerifyMs, r.QryVerifyMs, r.AggSegments)
 	}
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
@@ -191,13 +221,13 @@ func expTable1(checks int) {
 	}
 	for _, size := range paperSizes {
 		in := genesisInput(int64(size), size)
-		receipt, _, _, err := aggregateOnce(in, checks)
+		receipt, _, _, err := aggregateOnce(in, checks, 0)
 		if err != nil {
 			log.Fatalf("size %d: %v", size, err)
 		}
 		pp := paper[size]
 		fmt.Printf("%8d  %9.1f KB  %9.1f KB  %9.1f KB   | %13s %11s %11s\n",
-			size, kb(receipt.SealSize()), kb(receipt.JournalSize()), kb(receipt.Size()),
+			size, kb(receipt.SealSize()), kb(len(receipt.JournalBytes())), kb(receipt.Size()),
 			pp[0], pp[1], pp[2])
 	}
 	fmt.Println()
@@ -206,14 +236,14 @@ func expTable1(checks int) {
 func expTamper(checks int) {
 	fmt.Println("=== E3 / §6 tamper experiment ===")
 	in := genesisInput(77, 200)
-	if _, _, _, err := aggregateOnce(in, checks); err != nil {
+	if _, _, _, err := aggregateOnce(in, checks, 0); err != nil {
 		log.Fatalf("control run failed: %v", err)
 	}
 	fmt.Println("control (untampered): receipt produced")
 	// Flip one counter in one record after the commitment.
 	in.Routers[2].Records[5].Bytes ^= 1
 	t0 := time.Now()
-	_, _, _, err := aggregateOnce(in, checks)
+	_, _, _, err := aggregateOnce(in, checks, 0)
 	if err == nil {
 		log.Fatal("TAMPER MISSED: receipt produced over modified data")
 	}
@@ -265,6 +295,62 @@ func expParallel(checks int) {
 		fmt.Printf("%11d  %12.0f ms  %7.2fx\n", w, d, base/d)
 	}
 	fmt.Println()
+}
+
+// expContinuations is the E15 sweep: the same 2000-record aggregation
+// proved as a continuation chain at several segment lengths and
+// worker-pool widths. Shorter segments mean more, smaller slices that
+// seal concurrently — the wall-clock win scales with cores, while the
+// boundary-image imports bound the overhead on a single core.
+func expContinuations(checks int) []ContRow {
+	fmt.Println("=== E15: continuations — segment count x parallelism (2000 records) ===")
+	in := genesisInput(int64(2000), 2000)
+	words := in.Words()
+	prog := guest.AggregationProgram()
+	// Warm-up: populate the trace-size memo and slab pools so every
+	// measured row sees the same steady-state allocator.
+	if _, err := zkvm.Prove(prog, words, zkvm.ProveOptions{Checks: checks}); err != nil {
+		log.Fatal(err)
+	}
+	cores := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		cores = append(cores, n)
+	} else {
+		fmt.Println("note: single-CPU host — segment fan-out cannot show wall-clock speedup here")
+	}
+	var rows []ContRow
+	var base float64
+	fmt.Printf("%14s  %12s  %9s  %14s  %12s  %8s\n",
+		"segment-cycles", "parallelism", "segments", "agg proof", "agg verify", "speedup")
+	for _, segCycles := range []int{0, 1 << 18, 1 << 17, 1 << 16} {
+		for _, par := range cores {
+			t0 := time.Now()
+			receipt, err := zkvm.ProveAny(prog, words,
+				zkvm.ProveOptions{Checks: checks, SegmentCycles: segCycles, Parallelism: par})
+			if err != nil {
+				log.Fatal(err)
+			}
+			gen := ms(time.Since(t0))
+			t0 = time.Now()
+			if err := zkvm.VerifyAny(prog, receipt, zkvm.VerifyOptions{}); err != nil {
+				log.Fatalf("segment-cycles %d: verify: %v", segCycles, err)
+			}
+			ver := ms(time.Since(t0))
+			if base == 0 {
+				base = gen
+			}
+			row := ContRow{
+				SegmentCycles: segCycles, Parallelism: par,
+				Segments: numSegments(receipt), AggProofMs: gen,
+				AggVerifyMs: ver, ReceiptKB: kb(receipt.Size()),
+			}
+			rows = append(rows, row)
+			fmt.Printf("%14d  %12d  %9d  %12.0f ms  %9.1f ms  %7.2fx\n",
+				segCycles, par, row.Segments, gen, ver, base/gen)
+		}
+	}
+	fmt.Println()
+	return rows
 }
 
 // expPipeline measures the epoch pipeline: the same multi-epoch chain
@@ -474,20 +560,26 @@ func kb(n int) float64           { return float64(n) / 1024 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|stages|all")
+		exp      = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|stages|continuations|all")
 		checks   = flag.Int("checks", zkvm.DefaultChecks, "zkVM sampled checks per proof")
+		segCyc   = flag.Int("segment-cycles", 0, "prove sweep aggregations as continuation chains sliced every N cycles (0 = single-segment)")
 		csv      = flag.String("csv", "", "write the Figure 4 series as CSV to this path")
 		stages   = flag.Bool("stages", false, "shorthand for -exp stages: print the per-stage prover breakdown")
-		jsonPath = flag.String("json", "", "run the E1 sweep + stage split and write them as JSON to this path (see BENCH_PR4.json; compare runs with zkflow-benchdiff)")
+		jsonPath = flag.String("json", "", "run the E1 sweep + stage split + E15 continuation sweep and write them as JSON to this path (see BENCH_PR5.json; compare runs with zkflow-benchdiff)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 
-	fmt.Printf("zkflow-bench: %d CPUs, checks=%d\n\n", runtime.GOMAXPROCS(0), *checks)
+	fmt.Printf("zkflow-bench: %d CPUs, checks=%d", runtime.GOMAXPROCS(0), *checks)
+	if *segCyc > 0 {
+		fmt.Printf(", segment-cycles=%d", *segCyc)
+	}
+	fmt.Print("\n\n")
 	if *jsonPath != "" {
-		report := BenchReport{CPUs: runtime.GOMAXPROCS(0), Checks: *checks}
-		report.Sweep = expFig4(*checks, *csv)
+		report := BenchReport{CPUs: runtime.GOMAXPROCS(0), Checks: *checks, SegmentCycles: *segCyc}
+		report.Sweep = expFig4(*checks, *segCyc, *csv)
 		report.Stages = expStages(*checks)
+		report.Continuations = expContinuations(*checks)
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			log.Fatalf("json: %v", err)
@@ -504,7 +596,7 @@ func main() {
 	}
 	switch *exp {
 	case "fig4":
-		expFig4(*checks, *csv)
+		expFig4(*checks, *segCyc, *csv)
 	case "table1":
 		expTable1(*checks)
 	case "tamper":
@@ -519,8 +611,10 @@ func main() {
 		expProfile()
 	case "stages":
 		expStages(*checks)
+	case "continuations":
+		expContinuations(*checks)
 	case "all":
-		expFig4(*checks, *csv)
+		expFig4(*checks, *segCyc, *csv)
 		expTable1(*checks)
 		expTamper(*checks)
 		expParallel(*checks)
@@ -528,6 +622,7 @@ func main() {
 		expSpecialized(*checks)
 		expProfile()
 		expStages(*checks)
+		expContinuations(*checks)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

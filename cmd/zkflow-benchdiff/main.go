@@ -4,12 +4,14 @@
 //	zkflow-benchdiff old.json new.json
 //	zkflow-benchdiff -threshold 15 old.json new.json
 //
-// Every proving-time metric (sweep columns and per-stage wall time)
-// that got slower by more than the threshold (default 10%) is listed
-// and the tool exits nonzero, so CI can gate future PRs on the
-// committed baseline. Verification times are compared but, being
-// sub-millisecond, only reported informationally — timer noise at
-// that scale would make the gate flap.
+// Every gated metric that got slower by more than the threshold
+// (default 10%) is listed and the tool exits nonzero, so CI can gate
+// future PRs on the committed baseline. Gated metrics: agg_proof_ms,
+// query_proof_ms, agg_verify_ms per sweep row, and the stage-split
+// wall time. Verify times are few-millisecond quantities, so their
+// gate also requires an absolute slowdown above verifyNoiseFloorMs —
+// pure timer noise cannot trip it. query_verify_ms stays
+// informational.
 //
 // Stdlib only: this is meant to run in the same bare container as the
 // benchmarks themselves.
@@ -97,12 +99,24 @@ func main() {
 		}
 		return d
 	}
+	// Verify-time gate: relative threshold AND an absolute floor, so a
+	// 1.2 ms -> 1.5 ms timer wobble cannot fail CI while a genuine
+	// verification blow-up (e.g. an accidentally quadratic composite
+	// check) still does.
+	const verifyNoiseFloorMs = 1.0
+	gateVerify := func(name string, oldMs, newMs float64) string {
+		d, bad := delta(oldMs, newMs, *threshold)
+		if bad && newMs-oldMs > verifyNoiseFloorMs {
+			regressions = append(regressions, fmt.Sprintf("%s: %.2f ms -> %.2f ms (%s)", name, oldMs, newMs, d))
+		}
+		return d
+	}
 
 	oldByRecords := map[int]sweepRow{}
 	for _, r := range oldR.Sweep {
 		oldByRecords[r.Records] = r
 	}
-	fmt.Printf("%8s  %22s  %22s\n", "records", "agg proof old->new", "query proof old->new")
+	fmt.Printf("%8s  %22s  %22s  %20s\n", "records", "agg proof old->new", "query proof old->new", "agg verify old->new")
 	for _, n := range newR.Sweep {
 		o, ok := oldByRecords[n.Records]
 		if !ok {
@@ -112,8 +126,10 @@ func main() {
 		name := fmt.Sprintf("sweep[%d]", n.Records)
 		ad := gate(name+".agg_proof", o.AggProofMs, n.AggProofMs)
 		qd := gate(name+".query_proof", o.QueryProofMs, n.QueryProofMs)
-		fmt.Printf("%8d  %6.0f -> %-6.0f %s  %6.0f -> %-6.0f %s\n",
-			n.Records, o.AggProofMs, n.AggProofMs, ad, o.QueryProofMs, n.QueryProofMs, qd)
+		vd := gateVerify(name+".agg_verify", o.AggVerifyMs, n.AggVerifyMs)
+		fmt.Printf("%8d  %6.0f -> %-6.0f %s  %6.0f -> %-6.0f %s  %5.1f -> %-5.1f %s\n",
+			n.Records, o.AggProofMs, n.AggProofMs, ad, o.QueryProofMs, n.QueryProofMs, qd,
+			o.AggVerifyMs, n.AggVerifyMs, vd)
 	}
 
 	if oldR.Stages.WallMs > 0 && newR.Stages.WallMs > 0 {

@@ -21,6 +21,7 @@ import (
 
 	"zkflow/internal/api"
 	"zkflow/internal/core"
+	"zkflow/internal/zkvm"
 )
 
 func main() {
@@ -73,8 +74,12 @@ func main() {
 		if err != nil {
 			log.Fatalf("round %d verification FAILED: %v", round, err)
 		}
-		fmt.Printf("round %d: epoch %d, %d records, %d flows, root %v — VERIFIED in %.1f ms\n",
-			round, j.Epoch, j.NumRecords, j.NewCount, j.NewRoot.Bytes(),
+		form := "single-segment"
+		if c, ok := receipt.(*zkvm.CompositeReceipt); ok {
+			form = fmt.Sprintf("%d-segment composite", c.NumSegments())
+		}
+		fmt.Printf("round %d: epoch %d, %d records, %d flows, root %v — VERIFIED (%s) in %.1f ms\n",
+			round, j.Epoch, j.NumRecords, j.NewCount, j.NewRoot.Bytes(), form,
 			time.Since(t0).Seconds()*1000)
 	}
 	fmt.Printf("aggregation chain VERIFIED; trusted root %v\n", verifier.TrustedRoot().Bytes())

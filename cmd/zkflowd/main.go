@@ -40,6 +40,7 @@ func main() {
 		worker   = flag.String("worker", "", "off-path proving worker URL (empty = prove locally)")
 		pipeline = flag.Int("pipeline", 0, "pipeline depth: overlap witness generation with up to N in-flight seals (0 = serial)")
 		workers  = flag.Int("parallelism", 0, "prover worker-pool width (0 = all CPUs, 1 = serial)")
+		segCyc   = flag.Int("segment-cycles", 0, "prove aggregations as continuation chains sliced every N cycles (0 = single-segment)")
 
 		debugAddr    = flag.String("debug-addr", "", "operator-only pprof+metrics listen address (empty = off; keep it loopback)")
 		metricsEvery = flag.Duration("metrics-every", 0, "log a metrics summary line at this interval (0 = off)")
@@ -54,7 +55,7 @@ func main() {
 	// One registry carries the whole daemon: zkVM stage timings,
 	// scheduler gauges, and the HTTP layer, served at /api/v1/metrics.
 	reg := obs.NewRegistry()
-	opts := core.Options{Checks: *checks, Parallelism: *workers, PipelineDepth: *pipeline, Metrics: reg}
+	opts := core.Options{Checks: *checks, Parallelism: *workers, SegmentCycles: *segCyc, PipelineDepth: *pipeline, Metrics: reg}
 	if *worker != "" {
 		opts.Prove = remote.NewClient(*worker, nil).Prove
 		log.Printf("proving off-path via %s", *worker)

@@ -70,7 +70,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res.Receipt.Journal[len(res.Receipt.Journal)-1] ^= 1 // flip a root word
+		journal := res.Receipt.(*zkvm.Receipt).Journal
+		journal[len(journal)-1] ^= 1 // flip a root word
 		_, err = verifier.VerifyAggregation(res.Receipt)
 		check("receipt journal falsified", err != nil, fmt.Sprintf("%v", err))
 	}

@@ -111,8 +111,10 @@ func NewServer(p *core.Prover, lg *ledger.Ledger) *Server {
 // Must be called before Handler.
 func (s *Server) UseRegistry(reg *obs.Registry) { s.metrics = reg }
 
-// AddAggregation registers a completed round's receipt for serving.
-func (s *Server) AddAggregation(r *zkvm.Receipt) error {
+// AddAggregation registers a completed round's receipt for serving —
+// single-segment or a continuation composite; the wire format is the
+// receipt's own magic-tagged binary encoding either way.
+func (s *Server) AddAggregation(r zkvm.AnyReceipt) error {
 	bin, err := r.MarshalBinary()
 	if err != nil {
 		return err

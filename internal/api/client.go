@@ -122,8 +122,10 @@ func (c *Client) Ledger(ctx context.Context) (*ledger.Ledger, error) {
 	return ledger.FromEntries(entries)
 }
 
-// AggregationReceipt fetches round n's receipt.
-func (c *Client) AggregationReceipt(ctx context.Context, n int) (*zkvm.Receipt, error) {
+// AggregationReceipt fetches round n's receipt: a *zkvm.Receipt for
+// single-segment rounds, a *zkvm.CompositeReceipt for continuation
+// rounds — dispatched on the receipt magic.
+func (c *Client) AggregationReceipt(ctx context.Context, n int) (zkvm.AnyReceipt, error) {
 	ctx, cancel := c.requestCtx(ctx)
 	defer cancel()
 	path := fmt.Sprintf("/api/v1/receipts/agg/%d", n)
@@ -143,7 +145,7 @@ func (c *Client) AggregationReceipt(ctx context.Context, n int) (*zkvm.Receipt, 
 	if err != nil {
 		return nil, err
 	}
-	return zkvm.UnmarshalReceipt(data)
+	return zkvm.UnmarshalAnyReceipt(data)
 }
 
 // Query submits a SQL query and returns the operator's claimed

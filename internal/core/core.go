@@ -37,9 +37,11 @@ import (
 )
 
 // ProveFunc generates a receipt for a guest run. The default is
-// local zkvm.Prove; remote.Client.Prove plugs in here for off-path
-// proving (paper §7).
-type ProveFunc func(prog *zkvm.Program, input []uint32, opts zkvm.ProveOptions) (*zkvm.Receipt, error)
+// local zkvm.ProveAny; remote.Client.Prove plugs in here for off-path
+// proving (paper §7). With opts.SegmentCycles > 0 the returned
+// receipt is a *zkvm.CompositeReceipt (continuation chain), otherwise
+// a single *zkvm.Receipt.
+type ProveFunc func(prog *zkvm.Program, input []uint32, opts zkvm.ProveOptions) (zkvm.AnyReceipt, error)
 
 // Options configures proof generation.
 type Options struct {
@@ -50,11 +52,18 @@ type Options struct {
 	// Parallelism bounds the zkVM prover's worker pool (see
 	// zkvm.ProveOptions.Parallelism; 0 = NumCPU, 1 = serial).
 	Parallelism int
+	// SegmentCycles, when positive, proves aggregations as continuation
+	// chains: execution is sliced every SegmentCycles cycles and the
+	// slices are sealed concurrently into a composite receipt (see
+	// zkvm.ProveOptions.SegmentCycles). Zero keeps single-segment
+	// receipts. Query proofs always stay single-segment — they are
+	// small and latency-bound.
+	SegmentCycles int
 	// PipelineDepth is the number of epoch aggregations a Scheduler
 	// keeps in flight: witness generation for epoch N+1 overlaps the
 	// seal computation of epoch N. 0 or 1 means no pipelining.
 	PipelineDepth int
-	// Prove overrides the proving backend (nil = local zkvm.Prove).
+	// Prove overrides the proving backend (nil = local zkvm.ProveAny).
 	Prove ProveFunc
 	// Metrics, when non-nil, receives the prover's observability
 	// stream: round/query counters and latencies, scheduler pipeline
@@ -64,24 +73,33 @@ type Options struct {
 }
 
 func (o Options) proveOptions() zkvm.ProveOptions {
-	po := zkvm.ProveOptions{Checks: o.Checks, Segments: o.Segments, Parallelism: o.Parallelism}
+	po := zkvm.ProveOptions{
+		Checks: o.Checks, Segments: o.Segments,
+		Parallelism: o.Parallelism, SegmentCycles: o.SegmentCycles,
+	}
 	if o.Metrics != nil {
 		po.Observer = obs.NewStageRecorder(o.Metrics, "prover.stage.")
 	}
 	return po
 }
 
-func (o Options) prove(prog *zkvm.Program, input []uint32) (*zkvm.Receipt, error) {
+func (o Options) proveWith(prog *zkvm.Program, input []uint32, po zkvm.ProveOptions) (zkvm.AnyReceipt, error) {
 	if o.Prove != nil {
-		return o.Prove(prog, input, o.proveOptions())
+		return o.Prove(prog, input, po)
 	}
-	return zkvm.Prove(prog, input, o.proveOptions())
+	return zkvm.ProveAny(prog, input, po)
 }
 
-// AggregationResult is one completed aggregation round.
+func (o Options) prove(prog *zkvm.Program, input []uint32) (zkvm.AnyReceipt, error) {
+	return o.proveWith(prog, input, o.proveOptions())
+}
+
+// AggregationResult is one completed aggregation round. Receipt is a
+// *zkvm.Receipt in single-segment mode and a *zkvm.CompositeReceipt
+// when Options.SegmentCycles is set.
 type AggregationResult struct {
 	Epoch   uint64
-	Receipt *zkvm.Receipt
+	Receipt zkvm.AnyReceipt
 	Journal *guest.AggJournal
 }
 
@@ -194,7 +212,7 @@ func (p *Prover) AggregateEpoch(epoch uint64) (res *AggregationResult, err error
 	if err != nil {
 		return nil, fmt.Errorf("core: aggregation proof for epoch %d: %w", epoch, err)
 	}
-	j, err := guest.ParseAggJournal(receipt.Journal)
+	j, err := guest.ParseAggJournal(receipt.JournalWords())
 	if err != nil {
 		return nil, fmt.Errorf("core: aggregation journal: %w", err)
 	}
@@ -224,9 +242,18 @@ func (p *Prover) Query(sql string) (qres *QueryResult, err error) {
 	p.mu.Unlock()
 
 	prog := guest.QueryProgram(q)
-	receipt, err := p.opts.prove(prog, guest.QueryInput(entries))
+	// Query proofs always stay single-segment: they are small,
+	// latency-bound, and the v1 query-verification surface expects a
+	// plain receipt.
+	po := p.opts.proveOptions()
+	po.SegmentCycles = 0
+	anyReceipt, err := p.opts.proveWith(prog, guest.QueryInput(entries), po)
 	if err != nil {
 		return nil, fmt.Errorf("core: query proof: %w", err)
+	}
+	receipt, ok := anyReceipt.(*zkvm.Receipt)
+	if !ok {
+		return nil, fmt.Errorf("core: query proof: backend returned %T, want single-segment receipt", anyReceipt)
 	}
 	j, err := guest.ParseQueryJournal(receipt.Journal)
 	if err != nil {
@@ -298,20 +325,21 @@ func (v *Verifier) Rounds() int {
 	return v.rounds
 }
 
-// VerifyAggregation checks one aggregation receipt and, on success,
-// advances the verifier's trusted root and chain hash.
-func (v *Verifier) VerifyAggregation(receipt *zkvm.Receipt) (*guest.AggJournal, error) {
+// VerifyAggregation checks one aggregation receipt — single-segment
+// or a continuation composite — and, on success, advances the
+// verifier's trusted root and chain hash.
+func (v *Verifier) VerifyAggregation(receipt zkvm.AnyReceipt) (*guest.AggJournal, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 
 	prog := guest.AggregationProgram()
-	if receipt.ImageID != prog.ID() {
-		return nil, fmt.Errorf("%w: image %v", ErrWrongProgram, receipt.ImageID)
+	if receipt.Image() != prog.ID() {
+		return nil, fmt.Errorf("%w: image %v", ErrWrongProgram, receipt.Image())
 	}
-	if err := zkvm.Verify(prog, receipt, v.verifyOpts); err != nil {
+	if err := zkvm.VerifyAny(prog, receipt, v.verifyOpts); err != nil {
 		return nil, err
 	}
-	j, err := guest.ParseAggJournal(receipt.Journal)
+	j, err := guest.ParseAggJournal(receipt.JournalWords())
 	if err != nil {
 		return nil, err
 	}

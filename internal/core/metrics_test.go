@@ -108,8 +108,12 @@ func TestSerialAndQueryMetrics(t *testing.T) {
 	if h := s.Histograms["core.agg_seconds"]; h.Count != 1 {
 		t.Fatalf("agg_seconds count = %d, want 1", h.Count)
 	}
-	// The full prover stage set shows up via the serial zkvm.Prove path.
+	// The full prover stage set shows up via the serial zkvm.Prove path
+	// — except boundary_commit, which only segmented proofs report.
 	for _, stage := range zkvm.Stages {
+		if stage == zkvm.StageBoundaryCommit {
+			continue
+		}
 		if h := s.Histograms["prover.stage."+stage+"_seconds"]; h.Count == 0 {
 			t.Fatalf("prover stage %q never observed", stage)
 		}

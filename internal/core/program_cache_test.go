@@ -20,8 +20,8 @@ func TestPipelineSharedProgramCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range results {
-		if r.Receipt.ImageID != want {
-			t.Fatalf("epoch %d receipt image %v, want cached commitment %v", r.Epoch, r.Receipt.ImageID, want)
+		if r.Receipt.Image() != want {
+			t.Fatalf("epoch %d receipt image %v, want cached commitment %v", r.Epoch, r.Receipt.Image(), want)
 		}
 		if _, err := v.VerifyAggregation(r.Receipt); err != nil {
 			t.Fatalf("epoch %d: %v", r.Epoch, err)

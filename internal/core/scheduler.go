@@ -47,7 +47,7 @@ type pendingEpoch struct {
 }
 
 type sealOutcome struct {
-	receipt *zkvm.Receipt
+	receipt zkvm.AnyReceipt
 	err     error
 }
 
@@ -232,7 +232,7 @@ func (s *Scheduler) commitLoop() {
 			continue
 		}
 		out := <-pe.sealed
-		if out.err == nil && !journalWordsEqual(out.receipt.Journal, pe.journal) {
+		if out.err == nil && !journalWordsEqual(out.receipt.JournalWords(), pe.journal) {
 			// A remote sealer re-executes the guest; its journal must
 			// match the witness execution bit-for-bit.
 			out.err = fmt.Errorf("core: sealed journal differs from witness for epoch %d", pe.epoch)
@@ -257,12 +257,20 @@ func (s *Scheduler) commitLoop() {
 
 // sealWitness turns a witnessed execution into a receipt: locally by
 // sealing the already-traced execution, or via the configured remote
-// ProveFunc (which re-executes on the worker).
-func (p *Prover) sealWitness(ex *zkvm.Execution, words []uint32) (*zkvm.Receipt, error) {
+// ProveFunc (which re-executes on the worker). With SegmentCycles set
+// the local path re-executes through the segmenting tracer — the
+// witness execution cannot be re-cut after the fact — trading one
+// cheap emulator pass (a few percent of seal time) for a composite
+// receipt whose slices seal concurrently.
+func (p *Prover) sealWitness(ex *zkvm.Execution, words []uint32) (zkvm.AnyReceipt, error) {
+	po := p.opts.proveOptions()
 	if p.opts.Prove != nil {
-		return p.opts.Prove(guest.AggregationProgram(), words, p.opts.proveOptions())
+		return p.opts.Prove(guest.AggregationProgram(), words, po)
 	}
-	return zkvm.ProveExecution(ex, p.opts.proveOptions())
+	if po.SegmentCycles > 0 {
+		return zkvm.ProveSegmented(guest.AggregationProgram(), words, po)
+	}
+	return zkvm.ProveExecution(ex, po)
 }
 
 // AggregateEpochs pipelines the given epochs (in chain order) through

@@ -57,7 +57,7 @@ func TestSchedulerChainMatchesSerial(t *testing.T) {
 		}
 		// The journal binds the whole chain: prev hash, roots, epoch,
 		// commitments. Identical journals mean an identical chain.
-		if !journalWordsEqual(res.Receipt.Journal, serial[i].Receipt.Journal) {
+		if !journalWordsEqual(res.Receipt.JournalWords(), serial[i].Receipt.JournalWords()) {
 			t.Fatalf("round %d: pipelined journal differs from serial", i)
 		}
 		if _, err := v.VerifyAggregation(res.Receipt); err != nil {

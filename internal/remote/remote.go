@@ -14,6 +14,7 @@ package remote
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -26,8 +27,15 @@ import (
 	"zkflow/internal/zkvm"
 )
 
-// reqMagic versions the request framing.
-const reqMagic = 0x7a6b7277 // "zkrw"
+// reqMagic versions the request framing. v1 carries (Checks,
+// Segments); v2 appends SegmentCycles for continuation proving.
+// EncodeRequest emits v1 whenever SegmentCycles is zero so upgraded
+// clients keep working against v1 workers, and the worker accepts
+// both.
+const (
+	reqMagic   = 0x7a6b7277 // "zkrw"
+	reqMagicV2 = 0x7a6b7732 // "zkw2"
+)
 
 // maxRequest bounds a request body (program + inputs).
 const maxRequest = 512 << 20
@@ -35,10 +43,17 @@ const maxRequest = 512 << 20
 // EncodeRequest frames a proving request.
 func EncodeRequest(prog *zkvm.Program, input []uint32, opts zkvm.ProveOptions) []byte {
 	progBytes := prog.Encode()
-	out := make([]byte, 0, 20+len(progBytes)+4*len(input))
-	out = binary.LittleEndian.AppendUint32(out, reqMagic)
+	out := make([]byte, 0, 24+len(progBytes)+4*len(input))
+	if opts.SegmentCycles > 0 {
+		out = binary.LittleEndian.AppendUint32(out, reqMagicV2)
+	} else {
+		out = binary.LittleEndian.AppendUint32(out, reqMagic)
+	}
 	out = binary.LittleEndian.AppendUint32(out, uint32(opts.Checks))
 	out = binary.LittleEndian.AppendUint32(out, uint32(opts.Segments))
+	if opts.SegmentCycles > 0 {
+		out = binary.LittleEndian.AppendUint32(out, uint32(opts.SegmentCycles))
+	}
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(progBytes)))
 	out = append(out, progBytes...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(input)))
@@ -51,16 +66,28 @@ func EncodeRequest(prog *zkvm.Program, input []uint32, opts zkvm.ProveOptions) [
 // ErrBadRequest reports an unparseable proving request.
 var ErrBadRequest = errors.New("remote: malformed proving request")
 
-// DecodeRequest inverts EncodeRequest.
+// DecodeRequest inverts EncodeRequest, accepting both v1 and v2
+// frames.
 func DecodeRequest(data []byte) (*zkvm.Program, []uint32, zkvm.ProveOptions, error) {
 	var opts zkvm.ProveOptions
-	if len(data) < 20 || binary.LittleEndian.Uint32(data) != reqMagic {
+	if len(data) < 20 {
+		return nil, nil, opts, ErrBadRequest
+	}
+	off := 16
+	switch binary.LittleEndian.Uint32(data) {
+	case reqMagic:
+	case reqMagicV2:
+		if len(data) < 24 {
+			return nil, nil, opts, ErrBadRequest
+		}
+		opts.SegmentCycles = int(binary.LittleEndian.Uint32(data[12:]))
+		off = 20
+	default:
 		return nil, nil, opts, ErrBadRequest
 	}
 	opts.Checks = int(binary.LittleEndian.Uint32(data[4:]))
 	opts.Segments = int(binary.LittleEndian.Uint32(data[8:]))
-	progLen := binary.LittleEndian.Uint32(data[12:])
-	off := 16
+	progLen := binary.LittleEndian.Uint32(data[off-4:])
 	// Length checks are done in int (64-bit): comparing in uint32 lets
 	// a huge count wrap (4*nIn overflows) and walk past the buffer.
 	if len(data)-off < int(progLen) {
@@ -129,7 +156,7 @@ func WorkerHandler(reg *obs.Registry) http.Handler {
 		}
 		opts.Observer = stages
 		t0 := time.Now()
-		receipt, err := zkvm.Prove(prog, input, opts)
+		receipt, err := zkvm.ProveAny(prog, input, opts)
 		proveSec.Observe(time.Since(t0).Seconds())
 		if err != nil {
 			// Guest aborts and traps are semantic failures the caller
@@ -155,13 +182,42 @@ func WorkerHandler(reg *obs.Registry) http.Handler {
 	return mux
 }
 
-// Client dispatches proving jobs to a worker.
+// Client dispatches proving jobs to a worker. Every dispatch attempt
+// runs under a per-request deadline, and transient failures (transport
+// errors, 5xx) are retried a bounded number of times with exponential
+// backoff — a dead or hung worker surfaces as an error instead of
+// blocking the sealing pipeline forever. Semantic failures (4xx:
+// guest aborts, traps, malformed requests) are never retried; the
+// worker would only fail the same way again.
 type Client struct {
 	base string
 	http *http.Client
+
+	// Timeout bounds each dispatch attempt, covering connect, the
+	// worker-side proof, and the response body. Zero means
+	// DefaultTimeout; negative disables the deadline.
+	Timeout time.Duration
+	// Retries is the number of extra attempts after the first
+	// (DefaultRetries when the field is left zero; negative means no
+	// retries).
+	Retries int
+	// Backoff is the delay before the first retry, doubling per
+	// attempt. Zero means DefaultBackoff.
+	Backoff time.Duration
 }
 
+// Client retry/deadline defaults. Proofs are minutes-long at the
+// largest configured epochs, so the per-attempt deadline is generous;
+// it exists to bound a dead worker, not to race the prover.
+const (
+	DefaultTimeout = 10 * time.Minute
+	DefaultRetries = 2
+	DefaultBackoff = 500 * time.Millisecond
+)
+
 // NewClient creates a worker client (httpClient nil = default).
+// Deadline and retry policy come from the exported fields; the zero
+// values select the defaults above.
 func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
@@ -172,36 +228,101 @@ func NewClient(base string, httpClient *http.Client) *Client {
 // ErrRemote wraps worker-side failures.
 var ErrRemote = errors.New("remote: proving failed")
 
+// permanentError marks a worker response that retrying cannot fix.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
 // Prove sends the job to the worker and validates the returned
 // receipt locally (image ID and seal) before handing it back, so a
 // buggy or compromised worker cannot slip an invalid receipt into the
-// aggregation chain.
-func (c *Client) Prove(prog *zkvm.Program, input []uint32, opts zkvm.ProveOptions) (*zkvm.Receipt, error) {
-	resp, err := c.http.Post(c.base+"/prove", "application/octet-stream",
-		bytes.NewReader(EncodeRequest(prog, input, opts)))
+// aggregation chain. With opts.SegmentCycles > 0 the worker proves a
+// continuation chain and the result is a *zkvm.CompositeReceipt;
+// otherwise a single *zkvm.Receipt.
+func (c *Client) Prove(prog *zkvm.Program, input []uint32, opts zkvm.ProveOptions) (zkvm.AnyReceipt, error) {
+	req := EncodeRequest(prog, input, opts)
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	retries := c.Retries
+	if retries == 0 {
+		retries = DefaultRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = DefaultBackoff
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff << (attempt - 1))
+		}
+		body, err := c.dispatch(req, timeout)
+		if err != nil {
+			var perm *permanentError
+			if errors.As(err, &perm) {
+				return nil, fmt.Errorf("%w: %v", ErrRemote, perm.err)
+			}
+			lastErr = err
+			continue
+		}
+		return c.check(prog, body, opts)
+	}
+	return nil, fmt.Errorf("%w: %d attempts: %v", ErrRemote, retries+1, lastErr)
+}
+
+// dispatch performs one deadline-bounded POST /prove attempt. A
+// non-2xx status below 500 is permanent; transport errors and 5xx are
+// returned plain for the retry loop.
+func (c *Client) dispatch(reqBody []byte, timeout time.Duration) ([]byte, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/prove", bytes.NewReader(reqBody))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+		return nil, &permanentError{err}
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxRequest))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("%w: %s: %s", ErrRemote, resp.Status, bytes.TrimSpace(body))
+		err := fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+		if resp.StatusCode >= 500 {
+			return nil, err
+		}
+		return nil, &permanentError{err}
 	}
-	receipt, err := zkvm.UnmarshalReceipt(body)
+	return body, nil
+}
+
+// check parses and locally re-verifies a worker receipt.
+func (c *Client) check(prog *zkvm.Program, body []byte, opts zkvm.ProveOptions) (zkvm.AnyReceipt, error) {
+	receipt, err := zkvm.UnmarshalAnyReceipt(body)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
 	}
-	if receipt.ImageID != prog.ID() {
-		return nil, fmt.Errorf("%w: worker returned a receipt for image %v", ErrRemote, receipt.ImageID)
+	if receipt.Image() != prog.ID() {
+		return nil, fmt.Errorf("%w: worker returned a receipt for image %v", ErrRemote, receipt.Image())
 	}
-	if err := zkvm.Verify(prog, receipt, zkvm.VerifyOptions{AllowNonZeroExit: true}); err != nil {
+	if err := zkvm.VerifyAny(prog, receipt, zkvm.VerifyOptions{AllowNonZeroExit: true}); err != nil {
 		return nil, fmt.Errorf("%w: worker receipt invalid: %v", ErrRemote, err)
 	}
-	if receipt.ExitCode != 0 && !opts.AllowNonZeroExit {
-		return nil, &zkvm.GuestAbortError{ExitCode: receipt.ExitCode, Journal: receipt.Journal}
+	if code := receipt.ExitStatus(); code != 0 && !opts.AllowNonZeroExit {
+		return nil, &zkvm.GuestAbortError{ExitCode: code, Journal: receipt.JournalWords()}
 	}
 	return receipt, nil
 }

@@ -2,9 +2,13 @@ package remote
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"zkflow/internal/core"
 	"zkflow/internal/ledger"
@@ -40,11 +44,11 @@ func TestRemoteProveRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := zkvm.Verify(prog, receipt, zkvm.VerifyOptions{}); err != nil {
+	if err := zkvm.VerifyAny(prog, receipt, zkvm.VerifyOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if receipt.Journal[0] != 42 {
-		t.Fatalf("journal %v", receipt.Journal)
+	if receipt.JournalWords()[0] != 42 {
+		t.Fatalf("journal %v", receipt.JournalWords())
 	}
 }
 
@@ -142,5 +146,141 @@ func TestOffPathTamperStillAborts(t *testing.T) {
 	prover := core.NewProver(st, lg, core.Options{Checks: 6, Prove: c.Prove})
 	if _, err := prover.AggregateEpoch(0); err == nil {
 		t.Fatal("tampered store proven off-path")
+	}
+}
+
+func TestRequestRoundTripV2(t *testing.T) {
+	prog := simpleProgram()
+	opts := zkvm.ProveOptions{Checks: 9, Segments: 2, SegmentCycles: 4096}
+	req := EncodeRequest(prog, []uint32{7}, opts)
+	_, _, o2, err := DecodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.SegmentCycles != 4096 || o2.Checks != 9 || o2.Segments != 2 {
+		t.Fatalf("options lost: %+v", o2)
+	}
+	// SegmentCycles == 0 emits the v1 frame so old workers still parse.
+	v1 := EncodeRequest(prog, []uint32{7}, zkvm.ProveOptions{Checks: 9})
+	if binary.LittleEndian.Uint32(v1) != reqMagic {
+		t.Fatal("zero SegmentCycles did not produce a v1 frame")
+	}
+	if _, _, _, err := DecodeRequest(v1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := DecodeRequest(req[:len(req)-2]); err == nil {
+		t.Fatal("truncated v2 request accepted")
+	}
+}
+
+func TestRemoteSegmentedProve(t *testing.T) {
+	c := worker(t)
+	prog := simpleProgram()
+	receipt, err := c.Prove(prog, []uint32{20, 22}, zkvm.ProveOptions{Checks: 6, SegmentCycles: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, ok := receipt.(*zkvm.CompositeReceipt)
+	if !ok {
+		t.Fatalf("worker returned %T, want composite", receipt)
+	}
+	if err := zkvm.VerifyComposite(prog, comp, zkvm.VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if comp.JournalWords()[0] != 42 {
+		t.Fatalf("journal %v", comp.JournalWords())
+	}
+}
+
+// TestClientRetriesTransient: a worker that throws 503 twice before
+// recovering must succeed within the retry budget, and the failed
+// attempts must be counted.
+func TestClientRetriesTransient(t *testing.T) {
+	real := WorkerHandler(nil)
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "worker warming up", http.StatusServiceUnavailable)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, ts.Client())
+	c.Backoff = time.Millisecond
+	receipt, err := c.Prove(simpleProgram(), []uint32{20, 22}, zkvm.ProveOptions{Checks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if receipt.JournalWords()[0] != 42 {
+		t.Fatal("bad journal after retries")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}
+
+// TestClientRetriesExhausted: a permanently dead worker errors after
+// the bounded budget instead of blocking forever.
+func TestClientRetriesExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, ts.Client())
+	c.Retries = 2
+	c.Backoff = time.Millisecond
+	_, err := c.Prove(simpleProgram(), []uint32{1, 2}, zkvm.ProveOptions{Checks: 4})
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("got %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}
+
+// TestClientDeadlineOnHungWorker: a worker that never answers is cut
+// off by the per-attempt deadline — the exact failure mode that used
+// to block the sealing pipeline forever.
+func TestClientDeadlineOnHungWorker(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	t.Cleanup(func() { close(release); ts.Close() })
+	c := NewClient(ts.URL, ts.Client())
+	c.Timeout = 50 * time.Millisecond
+	c.Retries = -1 // single attempt
+	t0 := time.Now()
+	_, err := c.Prove(simpleProgram(), []uint32{1, 2}, zkvm.ProveOptions{Checks: 4})
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("got %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("hung worker held the client for %v", elapsed)
+	}
+}
+
+// TestClientDoesNotRetrySemanticFailures: 4xx responses (guest aborts,
+// malformed requests) are permanent — exactly one attempt.
+func TestClientDoesNotRetrySemanticFailures(t *testing.T) {
+	real := WorkerHandler(nil)
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		real.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, ts.Client())
+	c.Backoff = time.Millisecond
+	a := zkvm.NewAssembler()
+	a.HaltCode(3) // guest aborts -> 422
+	if _, err := c.Prove(a.MustAssemble(), nil, zkvm.ProveOptions{Checks: 4}); err == nil {
+		t.Fatal("aborted guest produced a receipt")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("semantic failure retried: %d attempts", got)
 	}
 }

@@ -90,6 +90,57 @@ func getMemSlab() []MemEntry {
 	return nil
 }
 
+// getRowSlabSized and getMemSlabSized return a slab with at least the
+// hinted capacity. A pooled slab that is too small (first run after a
+// pool eviction, or a bigger workload than anything seen yet) is
+// dropped on the floor so the pool converges to the steady-state size
+// instead of cycling undersized slabs back in.
+func getRowSlabSized(hint int) []Row {
+	s := getRowSlab()
+	if hint > 0 && cap(s) < hint {
+		return make([]Row, 0, hint)
+	}
+	return s
+}
+
+func getMemSlabSized(hint int) []MemEntry {
+	s := getMemSlab()
+	if hint > 0 && cap(s) < hint {
+		return make([]MemEntry, 0, hint)
+	}
+	return s
+}
+
+// traceSizeHint reports the largest (rows, memLog) trace this program
+// has produced, or zeros before the first completed run.
+func (p *Program) traceSizeHint() (rows, mem int) {
+	h := p.traceHint.Load()
+	return int(h >> 32), int(h & 0xffffffff)
+}
+
+// noteTraceSize folds a completed run's trace dimensions into the
+// program's running max.
+func (p *Program) noteTraceSize(rows, mem int) {
+	nr, nm := uint64(rows), uint64(mem)
+	if nr > 0xffffffff {
+		nr = 0xffffffff
+	}
+	if nm > 0xffffffff {
+		nm = 0xffffffff
+	}
+	for {
+		old := p.traceHint.Load()
+		or, om := old>>32, old&0xffffffff
+		if nr <= or && nm <= om {
+			return
+		}
+		r, m := max(nr, or), max(nm, om)
+		if p.traceHint.CompareAndSwap(old, r<<32|m) {
+			return
+		}
+	}
+}
+
 func putMemSlab(s []MemEntry) {
 	if cap(s) > 0 {
 		s = s[:0]
@@ -362,12 +413,13 @@ func Execute(prog *Program, input []uint32, opts ExecOptions) (*Execution, error
 	if maxSteps == 0 {
 		maxSteps = DefaultMaxSteps
 	}
-	env := &emuEnv{mem: make(map[uint32]uint32), input: input, memLog: getMemSlab()}
+	hintRows, hintMem := prog.traceSizeHint()
+	env := &emuEnv{mem: make(map[uint32]uint32), input: input, memLog: getMemSlabSized(hintMem)}
 	var (
 		pc   uint32
 		regs [NumRegs]uint32
 	)
-	rows := getRowSlab()
+	rows := getRowSlabSized(hintRows)
 	for stepNo := 0; ; stepNo++ {
 		if stepNo >= maxSteps {
 			putRowSlab(rows)
@@ -384,6 +436,7 @@ func Execute(prog *Program, input []uint32, opts ExecOptions) (*Execution, error
 			return nil, &TrapError{PC: pc, Step: stepNo, Reason: err.Error()}
 		}
 		if halted {
+			prog.noteTraceSize(len(rows), len(env.memLog))
 			return &Execution{
 				Program:  prog,
 				Rows:     rows,

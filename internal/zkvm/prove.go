@@ -29,6 +29,14 @@ type ProveOptions struct {
 	// produces byte-identical receipts (asserted by
 	// TestParallelProveDeterminism).
 	Parallelism int
+	// SegmentCycles, when positive, enables continuation-style
+	// segmented proving (ProveSegmented / ProveAny): the execution is
+	// cut every SegmentCycles steps and each slice is sealed as an
+	// independent segment receipt chained through committed boundary
+	// states. Values below minSegmentCycles are floored. Zero keeps
+	// the monolithic single-receipt path; Prove itself always ignores
+	// this field.
+	SegmentCycles int
 	// AllowNonZeroExit proves runs that halted with a nonzero exit
 	// code. By default such runs are treated as guest aborts and
 	// refuse to prove — the paper's "failed proof generation" signal.

@@ -1,0 +1,383 @@
+package zkvm
+
+import (
+	"zkflow/internal/transcript"
+)
+
+// VerifyComposite checks a chained continuation proof. On success the
+// caller knows (up to sampling soundness, per segment) that running
+// prog over *some* private input produced exactly the concatenated
+// journal and the final exit code:
+//
+//   - segment 0 enters at the genesis state (reset machine, empty
+//     image),
+//   - every exit(i) equals entry(i+1) — same pc, registers, cursors,
+//     and boundary-image commitment,
+//   - only the last segment is Final and it satisfies the same halt
+//     rules as a single-segment receipt,
+//   - each segment receipt independently proves its slice under its
+//     own Fiat–Shamir transcript, which absorbs the segment's index,
+//     role, journal slice, and both boundary states — so segments
+//     cannot be reordered, dropped, re-linked, or given a journal from
+//     another run without invalidating their sampled openings.
+func VerifyComposite(prog *Program, c *CompositeReceipt, opts VerifyOptions) error {
+	n := len(c.Segments)
+	if n < 1 {
+		return vErr("composite receipt with no segments")
+	}
+	for i, sr := range c.Segments {
+		if int(sr.Index) != i {
+			return vErr("segment %d carries index %d", i, sr.Index)
+		}
+		if sr.Final != (i == n-1) {
+			return vErr("segment %d final flag %v in a %d-segment chain", i, sr.Final, n)
+		}
+	}
+	if c.Segments[0].Entry != GenesisState() {
+		return vErr("segment 0 does not enter at the genesis state")
+	}
+	for i := 1; i < n; i++ {
+		if c.Segments[i].Entry != c.Segments[i-1].Exit {
+			return vErr("boundary %d: entry state does not match previous exit state", i)
+		}
+	}
+	for i, sr := range c.Segments {
+		if err := verifySegment(prog, sr, opts); err != nil {
+			return vErr("segment %d: %v", i, err)
+		}
+	}
+	return nil
+}
+
+// verifySegment checks one segment receipt in isolation: its seal
+// binds the committed trace to the entry/exit states it declares.
+// Chain-level rules (genesis, linkage, indices) live in
+// VerifyComposite.
+func verifySegment(prog *Program, sr *SegmentReceipt, opts VerifyOptions) error {
+	if prog.ID() != sr.ImageID {
+		return vErr("image ID mismatch: receipt %v, program %v", sr.ImageID, prog.ID())
+	}
+	s := &sr.Seal
+	nRows := int(s.NumRows)
+	nMem := int(s.NumMem)
+	if nRows < 1 {
+		return vErr("empty trace")
+	}
+	if sr.Final {
+		if sr.ExitCode != 0 && !opts.AllowNonZeroExit {
+			return vErr("guest exit code %d", sr.ExitCode)
+		}
+		if sr.Exit != (SegmentState{}) {
+			return vErr("final segment declares an exit state")
+		}
+	} else {
+		if sr.ExitCode != 0 {
+			return vErr("non-final segment carries exit code %d", sr.ExitCode)
+		}
+		if nRows < 2 {
+			return vErr("non-final segment with no executed step")
+		}
+		// Cumulative cursor deltas must match the segment-local counts
+		// the last row (checked below) declares.
+		if sr.Exit.JPtr-sr.Entry.JPtr != uint32(len(sr.Journal)) {
+			return vErr("journal cursor delta %d, segment journal has %d words",
+				sr.Exit.JPtr-sr.Entry.JPtr, len(sr.Journal))
+		}
+	}
+	if int(sr.Entry.MemLen) > nMem {
+		return vErr("entry image larger than the memory log")
+	}
+
+	tr := transcript.New("zkvm-seg-v1")
+	absorbSegmentPublic(tr, sr)
+	tr.Append("exec-root", s.ExecRoot[:])
+	tr.Append("memprog-root", s.MemProgRoot[:])
+	tr.Append("memsort-root", s.MemSortRoot[:])
+	alpha := tr.ChallengeElem("alpha")
+	gamma := tr.ChallengeElem("gamma")
+	tr.Append("prodprog-root", s.ProdProgRoot[:])
+	tr.Append("prodsort-root", s.ProdSortRoot[:])
+
+	// --- Boundary rows: entry binding replaces the initial-state rule,
+	// exit binding (or the halt rule) replaces the final-state rule. ---
+	if err := s.FirstRow.verify(s.ExecRoot, 0, rowBytes); err != nil {
+		return vErr("first row: %v", err)
+	}
+	first, err := decodeRow(s.FirstRow.Data)
+	if err != nil {
+		return vErr("first row: %v", err)
+	}
+	if first.PC != sr.Entry.PC || first.Regs != sr.Entry.Regs {
+		return vErr("first row does not match the entry state")
+	}
+	if first.MemPtr != sr.Entry.MemLen {
+		return vErr("first row MemPtr %d, entry image has %d words", first.MemPtr, sr.Entry.MemLen)
+	}
+	if first.InPtr != 0 || first.JPtr != 0 {
+		return vErr("first row cursors not rebased to the segment")
+	}
+	if err := s.LastRow.verify(s.ExecRoot, nRows-1, rowBytes); err != nil {
+		return vErr("last row: %v", err)
+	}
+	last, err := decodeRow(s.LastRow.Data)
+	if err != nil {
+		return vErr("last row: %v", err)
+	}
+	if sr.Final {
+		if last.PC >= uint32(len(prog.Instrs)) {
+			return vErr("last row pc %d outside program", last.PC)
+		}
+		if prog.Instrs[last.PC].Op != OpHalt {
+			return vErr("last row is not a halt instruction")
+		}
+		if last.Regs[R1] != sr.ExitCode {
+			return vErr("exit code %d does not match halting r1 %d", sr.ExitCode, last.Regs[R1])
+		}
+	} else {
+		if last.PC != sr.Exit.PC || last.Regs != sr.Exit.Regs {
+			return vErr("last row does not match the exit state")
+		}
+		if last.InPtr != sr.Exit.InPtr-sr.Entry.InPtr {
+			return vErr("last row InPtr %d, exit cursor delta %d", last.InPtr, sr.Exit.InPtr-sr.Entry.InPtr)
+		}
+	}
+	if int(last.JPtr) != len(sr.Journal) {
+		return vErr("journal length %d does not match final JPtr %d", len(sr.Journal), last.JPtr)
+	}
+	if int(last.MemPtr) != nMem {
+		return vErr("memory log length %d does not match final MemPtr %d", nMem, last.MemPtr)
+	}
+
+	if nMem > 0 {
+		if err := verifyMemBoundary(s, alpha, gamma, nMem); err != nil {
+			return err
+		}
+	} else if !sr.Final {
+		// No accesses at all: the image cannot have changed.
+		if sr.Exit.MemLen != sr.Entry.MemLen || sr.Exit.MemRoot != sr.Entry.MemRoot {
+			return vErr("memory image changed without any memory access")
+		}
+	}
+
+	// --- Sampled checks. All applicable families share one count k
+	// (the prover uses a single Checks); derive it from whichever
+	// family is live and enforce agreement. ---
+	k := 0
+	requireK := func(name string, n int) error {
+		if k == 0 {
+			k = n
+		}
+		if n != k {
+			return vErr("inconsistent check counts: %s has %d, want %d", name, n, k)
+		}
+		if n == 0 {
+			return vErr("no %s checks", name)
+		}
+		if n < opts.MinChecks {
+			return vErr("seal has %d sampled checks, verifier requires %d", n, opts.MinChecks)
+		}
+		return nil
+	}
+
+	if nRows >= 2 {
+		if err := requireK("exec", len(s.ExecChecks)); err != nil {
+			return err
+		}
+		for n, i := range tr.ChallengeIndices("exec", len(s.ExecChecks), nRows-1) {
+			if err := verifyExecCheck(prog, s, &s.ExecChecks[n], i, sr.Journal); err != nil {
+				return vErr("exec check %d (row %d): %v", n, i, err)
+			}
+		}
+	} else if len(s.ExecChecks) != 0 {
+		return vErr("unexpected execution checks")
+	}
+
+	if nMem >= 2 {
+		if err := requireK("prod", len(s.ProdChecks)); err != nil {
+			return err
+		}
+		if err := requireK("sort", len(s.SortChecks)); err != nil {
+			return err
+		}
+		for n, i := range tr.ChallengeIndices("prod", len(s.ProdChecks), nMem-1) {
+			if err := verifyProdCheck(s, &s.ProdChecks[n], i, alpha, gamma); err != nil {
+				return vErr("product check %d (entry %d): %v", n, i, err)
+			}
+		}
+		for n, i := range tr.ChallengeIndices("sort", len(s.SortChecks), nMem-1) {
+			if err := verifySortCheck(s, &s.SortChecks[n], i, alpha, gamma); err != nil {
+				return vErr("sorted check %d (entry %d): %v", n, i, err)
+			}
+		}
+	} else if len(s.ProdChecks) != 0 || len(s.SortChecks) != 0 {
+		return vErr("unexpected memory checks")
+	}
+
+	// --- Continuation families. ---
+	if sr.Entry.MemLen > 0 {
+		if err := requireK("import", len(sr.ImportChecks)); err != nil {
+			return err
+		}
+		for n, i := range tr.ChallengeIndices("import", len(sr.ImportChecks), int(sr.Entry.MemLen)) {
+			if err := verifyImportCheck(sr, &sr.ImportChecks[n], i); err != nil {
+				return vErr("import check %d (image word %d): %v", n, i, err)
+			}
+		}
+	} else if len(sr.ImportChecks) != 0 {
+		return vErr("unexpected import checks")
+	}
+
+	if !sr.Final && sr.Exit.MemLen > 0 {
+		if err := requireK("exit", len(sr.ExitChecks)); err != nil {
+			return err
+		}
+		for n, j := range tr.ChallengeIndices("exit", len(sr.ExitChecks), int(sr.Exit.MemLen)) {
+			if err := verifyExitCheck(sr, &sr.ExitChecks[n], j, nMem); err != nil {
+				return vErr("exit check %d (image word %d): %v", n, j, err)
+			}
+		}
+	} else if len(sr.ExitChecks) != 0 {
+		return vErr("unexpected exit checks")
+	}
+
+	if !sr.Final && nMem > 0 {
+		if err := requireK("cover", len(sr.CoverChecks)); err != nil {
+			return err
+		}
+		for n, i := range tr.ChallengeIndices("cover", len(sr.CoverChecks), nMem) {
+			if err := verifyCoverCheck(sr, &sr.CoverChecks[n], i, nMem); err != nil {
+				return vErr("cover check %d (sorted entry %d): %v", n, i, err)
+			}
+		}
+	} else if len(sr.CoverChecks) != 0 {
+		return vErr("unexpected cover checks")
+	}
+	return nil
+}
+
+// verifyImportCheck: program-order log entry i must be the synthetic
+// import write of entry-image pair i.
+func verifyImportCheck(sr *SegmentReceipt, c *ImportCheck, i int) error {
+	if err := c.MemProg.verify(sr.Seal.MemProgRoot, i, memBytes); err != nil {
+		return err
+	}
+	if err := c.Img.verify(sr.Entry.MemRoot, i, imgBytes); err != nil {
+		return err
+	}
+	e, err := decodeMemEntry(c.MemProg.Data)
+	if err != nil {
+		return err
+	}
+	p, err := decodeImagePair(c.Img.Data)
+	if err != nil {
+		return err
+	}
+	if !e.IsWrite || e.Step != importStep {
+		return vErr("log entry %d is not an import write", i)
+	}
+	if e.Seq != uint32(i) {
+		return vErr("import %d has sequence %d", i, e.Seq)
+	}
+	if e.Addr != p.Addr || e.Val != p.Val {
+		return vErr("import %d does not match the entry image", i)
+	}
+	return nil
+}
+
+// verifyExitCheck: exit-image pair j must be the value left by the
+// last sorted-log access of its address (and nonzero). Last-ness
+// follows from the opened successor having a different address, given
+// the sorted-order invariant sampled by the sort family.
+func verifyExitCheck(sr *SegmentReceipt, c *ExitCheck, j, nMem int) error {
+	if err := c.Img.verify(sr.Exit.MemRoot, j, imgBytes); err != nil {
+		return err
+	}
+	p, err := decodeImagePair(c.Img.Data)
+	if err != nil {
+		return err
+	}
+	if p.Val == 0 {
+		return vErr("exit image holds a zero value")
+	}
+	pos := int(c.Pos)
+	if pos >= nMem {
+		return vErr("witness position %d outside the log", pos)
+	}
+	if err := c.SortP.verify(sr.Seal.MemSortRoot, pos, memBytes); err != nil {
+		return err
+	}
+	e, err := decodeMemEntry(c.SortP.Data)
+	if err != nil {
+		return err
+	}
+	if e.Addr != p.Addr || e.Val != p.Val {
+		return vErr("witness access does not match the exit image")
+	}
+	if pos+1 < nMem {
+		if !c.HasP1 {
+			return vErr("missing successor opening")
+		}
+		if err := c.SortP1.verify(sr.Seal.MemSortRoot, pos+1, memBytes); err != nil {
+			return err
+		}
+		e1, err := decodeMemEntry(c.SortP1.Data)
+		if err != nil {
+			return err
+		}
+		if e1.Addr == e.Addr {
+			return vErr("witness access is not the last access of its address")
+		}
+	} else if c.HasP1 {
+		return vErr("unexpected successor opening")
+	}
+	return nil
+}
+
+// verifyCoverCheck: if sorted-log entry i is the last access of its
+// address and leaves a nonzero value, the exit image must contain it.
+func verifyCoverCheck(sr *SegmentReceipt, c *CoverCheck, i, nMem int) error {
+	if err := c.EntryI.verify(sr.Seal.MemSortRoot, i, memBytes); err != nil {
+		return err
+	}
+	ei, err := decodeMemEntry(c.EntryI.Data)
+	if err != nil {
+		return err
+	}
+	isLast := i+1 == nMem
+	if !isLast {
+		if !c.HasJ {
+			return vErr("missing successor opening")
+		}
+		if err := c.EntryJ.verify(sr.Seal.MemSortRoot, i+1, memBytes); err != nil {
+			return err
+		}
+		ej, err := decodeMemEntry(c.EntryJ.Data)
+		if err != nil {
+			return err
+		}
+		isLast = ej.Addr != ei.Addr
+	} else if c.HasJ {
+		return vErr("unexpected successor opening")
+	}
+	if isLast && ei.Val != 0 {
+		if !c.HasImg {
+			return vErr("live word %d missing from the exit image", ei.Addr)
+		}
+		if int(c.ExitIdx) >= int(sr.Exit.MemLen) {
+			return vErr("exit index %d outside the image", c.ExitIdx)
+		}
+		if err := c.Img.verify(sr.Exit.MemRoot, int(c.ExitIdx), imgBytes); err != nil {
+			return err
+		}
+		p, err := decodeImagePair(c.Img.Data)
+		if err != nil {
+			return err
+		}
+		if p.Addr != ei.Addr || p.Val != ei.Val {
+			return vErr("exit image entry does not cover the live word")
+		}
+	} else if c.HasImg {
+		return vErr("unexpected image opening")
+	}
+	return nil
+}

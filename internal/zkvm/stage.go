@@ -30,6 +30,13 @@ const (
 	// StageGrandProduct scans, encodes, and commits the two
 	// running-product columns under the (alpha, gamma) challenges.
 	StageGrandProduct = "grand_product"
+	// StageBoundaryCommit commits the boundary memory images of a
+	// segmented (continuation) proof — one salted tree per segment
+	// boundary, shared by the two adjacent segment receipts. Reported
+	// once per composite proof; the per-segment stages (mem_sort,
+	// merkle_commit, grand_product, seal) are reported once per
+	// segment, so a composite proof emits N observations per stage.
+	StageBoundaryCommit = "boundary_commit"
 	// StageSeal assembles the receipt: boundary openings plus the
 	// Fiat–Shamir-sampled spot checks with their Merkle paths.
 	StageSeal = "seal"
@@ -37,7 +44,7 @@ const (
 
 // Stages lists every prover stage in pipeline order.
 var Stages = []string{
-	StageExecute, StageMemSort,
+	StageExecute, StageBoundaryCommit, StageMemSort,
 	StageMerkleCommit, StageGrandProduct, StageSeal,
 }
 

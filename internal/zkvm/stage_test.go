@@ -38,15 +38,48 @@ func TestProveReportsAllStages(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, stage := range Stages {
-		if got := log.seen[stage]; got != 1 {
-			t.Errorf("stage %q reported %d times, want 1", stage, got)
+		want := 1
+		if stage == StageBoundaryCommit {
+			// Boundary-image commits only exist in segmented proofs.
+			want = 0
+		}
+		if got := log.seen[stage]; got != want {
+			t.Errorf("stage %q reported %d times, want %d", stage, got, want)
 		}
 	}
-	if len(log.seen) != len(Stages) {
-		t.Errorf("observer saw %d stages, want %d: %v", len(log.seen), len(Stages), log.seen)
+	if len(log.seen) != len(Stages)-1 {
+		t.Errorf("observer saw %d stages, want %d: %v", len(log.seen), len(Stages)-1, log.seen)
 	}
 	if log.total < 0 {
 		t.Errorf("negative total stage time %v", log.total)
+	}
+}
+
+// TestSegmentedProveReportsStages drives a multi-segment proof and
+// checks the per-segment stages are reported once per segment and the
+// boundary commit once per composite.
+func TestSegmentedProveReportsStages(t *testing.T) {
+	var log stageLog
+	prog := segTestProgram(t)
+	c, err := proveSegmentedSeeded(prog, []uint32{3000, 5},
+		ProveOptions{Checks: 6, SegmentCycles: 1 << 10, Observer: &log}, &segTestSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.NumSegments()
+	if n < 2 {
+		t.Fatalf("expected multiple segments, got %d", n)
+	}
+	if got := log.seen[StageExecute]; got != 1 {
+		t.Errorf("execute reported %d times, want 1", got)
+	}
+	if got := log.seen[StageBoundaryCommit]; got != 1 {
+		t.Errorf("boundary_commit reported %d times, want 1", got)
+	}
+	for _, stage := range []string{StageMemSort, StageMerkleCommit, StageGrandProduct, StageSeal} {
+		if got := log.seen[stage]; got != n {
+			t.Errorf("stage %q reported %d times, want %d", stage, got, n)
+		}
 	}
 }
 
