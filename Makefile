@@ -15,19 +15,20 @@ test:
 # Race lane: the packages that fan work out across goroutines — the
 # prover worker pool, the segmented (continuation) proving crew, the
 # epoch pipeline, the retrying remote dispatcher, the metrics
-# registry, and the HTTP layer.
+# registry, the HTTP layer, and the sharded UDP ingest pipeline.
 race:
-	$(GO) test -race ./internal/zkvm ./internal/core ./internal/api ./internal/remote ./internal/merkle ./internal/obs
+	$(GO) test -race ./internal/zkvm ./internal/core ./internal/api ./internal/remote ./internal/merkle ./internal/obs ./internal/ingest
 
 # Fuzz lane: each network/storage-facing decoder gets a short
 # randomized run on top of its committed seed + regression corpus.
-# `go test -fuzz` takes one target per invocation, so this is four
+# `go test -fuzz` takes one target per invocation, so this is five
 # runs; budget with FUZZTIME (default 10s each).
 fuzz:
 	$(GO) test ./internal/netflow -run='^$$' -fuzz=FuzzWireCodecs -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/remote -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/zkvm -run='^$$' -fuzz=FuzzDecodeProgram -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/zkvm -run='^$$' -fuzz=FuzzUnmarshalReceipt -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/ingest -run='^$$' -fuzz=FuzzDatagram -fuzztime=$(FUZZTIME)
 
 # The default pre-merge gate. The fuzz lane runs last so the cheap
 # deterministic checks fail fast.
@@ -44,13 +45,13 @@ bench-parallel:
 # hash kernel, the Merkle arena build, and the fused prover pipeline.
 # Compare against the allocs/op recorded in EXPERIMENTS.md E14.
 # Finishes by regenerating the committed benchmark baseline
-# (BENCH_PR5.json: E1 sweep + stage split + E15 continuation sweep);
-# gate a branch against it with
-# `zkflow-benchdiff BENCH_PR5.json fresh.json`.
+# (BENCH_PR6.json: E1 sweep + stage split + E15 continuation sweep +
+# E16 ingest throughput sweep); gate a branch against it with
+# `zkflow-benchdiff BENCH_PR6.json fresh.json`.
 bench-commit:
 	$(GO) test -bench='HashLevel|Leaf2' -benchmem -run=^$$ ./internal/hashk
 	$(GO) test -bench='BuildHashes|Build1024' -benchmem -run=^$$ ./internal/merkle
 	$(GO) test -bench='ProveParallel/parallelism=1' -benchmem -run=^$$ .
-	$(GO) run ./cmd/zkflow-bench -json BENCH_PR5.json
+	$(GO) run ./cmd/zkflow-bench -json BENCH_PR6.json
 
 verify: build vet test race

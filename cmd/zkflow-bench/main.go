@@ -7,6 +7,7 @@
 //	-exp parallel     §7 proof parallelization (segment + worker-pool fan-out)
 //	-exp pipeline     epoch pipelining (witness N+1 overlaps seal N)
 //	-exp specialized  §7 specialized prover vs. zkVM hash throughput
+//	-exp ingest       E16: sustained UDP/inject collector throughput (flows/sec)
 //	-exp all          everything above
 //
 // Absolute numbers differ from the paper's Threadripper + RISC Zero
@@ -23,6 +24,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zkflow/internal/clog"
@@ -30,6 +32,7 @@ import (
 	"zkflow/internal/fastagg"
 	"zkflow/internal/gperm"
 	"zkflow/internal/guest"
+	"zkflow/internal/ingest"
 	"zkflow/internal/ledger"
 	"zkflow/internal/netflow"
 	"zkflow/internal/query"
@@ -123,16 +126,32 @@ type StageSplit struct {
 	Stages  map[string]float64 `json:"stages_ms"`
 }
 
+// IngestRow is one point of the E16 ingest sweep: sustained collector
+// throughput at a shard count, measured from first datagram to final
+// sealed-and-committed record. Transport "inject" exercises the full
+// decode→shard→commit path in process; "udp" adds the socket (and any
+// kernel-level datagram loss on a blast, which is outside the
+// pipeline's accounting).
+type IngestRow struct {
+	Shards      int     `json:"shards"`
+	Transport   string  `json:"transport"`
+	Protocol    string  `json:"protocol"`
+	Records     int     `json:"records"`
+	FlowsPerSec float64 `json:"ingest_flows_per_sec"`
+	DroppedPct  float64 `json:"dropped_pct"`
+}
+
 // BenchReport is the machine-readable output of -json: the E1 sweep
 // plus the stage split and the E15 continuation sweep, with enough
 // environment to interpret them.
 type BenchReport struct {
-	CPUs          int        `json:"cpus"`
-	Checks        int        `json:"checks"`
-	SegmentCycles int        `json:"segment_cycles,omitempty"`
-	Sweep         []SweepRow `json:"sweep"`
-	Stages        StageSplit `json:"stages"`
-	Continuations []ContRow  `json:"continuations,omitempty"`
+	CPUs          int         `json:"cpus"`
+	Checks        int         `json:"checks"`
+	SegmentCycles int         `json:"segment_cycles,omitempty"`
+	Sweep         []SweepRow  `json:"sweep"`
+	Stages        StageSplit  `json:"stages"`
+	Continuations []ContRow   `json:"continuations,omitempty"`
+	Ingest        []IngestRow `json:"ingest,omitempty"`
 }
 
 // numSegments reports the continuation segment count of a receipt (1
@@ -555,12 +574,153 @@ func expProfile() {
 	fmt.Printf("   updates within the zkVM\"); a hash accelerator shifts the bottleneck to data movement\n\n")
 }
 
+// ingestTargetPerMin is the E16 sustained-ingest goal: one million
+// committed records per minute through the collector.
+const ingestTargetPerMin = 1_000_000
+
+// expIngest is the E16 sweep: sustained collector throughput, shard
+// counts {1,2,4,GOMAXPROCS} over the in-process inject path plus one
+// UDP row through a real socket. Epochs seal every 50 ms underneath
+// the load, so the number includes commitment work, not just decode.
+func expIngest() []IngestRow {
+	fmt.Println("=== E16: ingest throughput (decoded, sharded, committed flows/sec) ===")
+	fmt.Printf("(target: sustained >= %d records/min = %.1fk flows/sec)\n", ingestTargetPerMin, ingestTargetPerMin/60.0/1000)
+
+	const routers = 8
+	const perPacket = 50
+	const totalRecords = 400_000
+
+	// Pre-encode the replay set once; injection then measures the
+	// collector, not the generator.
+	var dgrams [][]byte
+	for r, g := range trafficgen.PerRouter(trafficgen.Config{Seed: 42, NumFlows: 4096, Routers: routers}) {
+		for c := 0; c < 4; c++ {
+			recs := g.Batch(uint32(r), uint64(c), perPacket)
+			dgrams = append(dgrams, netflow.EncodeV9(&netflow.ExportPacket{SourceID: uint32(r), Records: recs}))
+		}
+	}
+
+	finish := func(p *ingest.Pipeline, shards int, transport string, elapsed float64) IngestRow {
+		s := p.Stats()
+		row := IngestRow{
+			Shards:      shards,
+			Transport:   transport,
+			Protocol:    "v9",
+			Records:     int(s.Committed),
+			FlowsPerSec: float64(s.Committed) / elapsed,
+		}
+		if s.Received > 0 {
+			row.DroppedPct = 100 * float64(s.Dropped()) / float64(s.Received)
+		}
+		if u := s.Unaccounted(); u != 0 {
+			log.Fatalf("ingest bench: %d records unaccounted (%+v)", u, s)
+		}
+		return row
+	}
+
+	runInject := func(shards int) IngestRow {
+		p, err := ingest.New(store.Open(0), ledger.New(), ingest.Config{
+			Shards: shards, QueueDepth: 4096, EpochInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Start(); err != nil {
+			log.Fatal(err)
+		}
+		injectors := shards
+		if n := runtime.GOMAXPROCS(0); injectors > n {
+			injectors = n
+		}
+		var budget atomic.Int64
+		budget.Store(totalRecords)
+		t0 := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < injectors; i++ {
+			wg.Add(1)
+			go func(start int) {
+				defer wg.Done()
+				for j := start; budget.Add(-perPacket) >= 0; j++ {
+					p.Inject(dgrams[j%len(dgrams)])
+				}
+			}(i)
+		}
+		wg.Wait()
+		if err := p.Close(); err != nil {
+			log.Fatal(err)
+		}
+		return finish(p, shards, "inject", time.Since(t0).Seconds())
+	}
+
+	runUDP := func(shards int) IngestRow {
+		p, err := ingest.New(store.Open(0), ledger.New(), ingest.Config{
+			Addr: "127.0.0.1:0", Shards: shards, Readers: 4,
+			QueueDepth: 4096, EpochInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Start(); err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		if _, err := trafficgen.Replay(p.Addr().String(),
+			trafficgen.Config{Seed: 7, NumFlows: 4096, Routers: routers},
+			trafficgen.ReplayOptions{
+				Epochs: 4, RecordsPerRouter: 2000, RecordsPerPacket: perPacket,
+				// Pace the sender: an unshaped blast overruns the kernel
+				// socket buffer before the readers are ever scheduled, so
+				// the row would measure kernel drop, not the collector.
+				Gap: 200 * time.Microsecond,
+			}); err != nil {
+			log.Fatal(err)
+		}
+		// Quiesce: a blast can outrun the kernel socket buffer; wait
+		// until the datagram counter stops moving before sealing.
+		last := p.Stats().Datagrams
+		for {
+			time.Sleep(200 * time.Millisecond)
+			cur := p.Stats().Datagrams
+			if cur == last {
+				break
+			}
+			last = cur
+		}
+		elapsed := time.Since(t0).Seconds()
+		if err := p.Close(); err != nil {
+			log.Fatal(err)
+		}
+		return finish(p, shards, "udp", elapsed)
+	}
+
+	shardSet := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		shardSet = append(shardSet, n)
+	}
+	var rows []IngestRow
+	fmt.Printf("%9s  %9s  %10s  %14s  %9s\n", "transport", "shards", "records", "flows/sec", "dropped")
+	for _, s := range shardSet {
+		rows = append(rows, runInject(s))
+	}
+	rows = append(rows, runUDP(4))
+	for _, r := range rows {
+		status := ""
+		if r.Transport == "inject" && r.FlowsPerSec*60 < ingestTargetPerMin {
+			status = "  << below 1M/min target"
+		}
+		fmt.Printf("%9s  %9d  %10d  %12.0f/s  %7.2f%%%s\n",
+			r.Transport, r.Shards, r.Records, r.FlowsPerSec, r.DroppedPct, status)
+	}
+	fmt.Println()
+	return rows
+}
+
 func ms(d time.Duration) float64 { return d.Seconds() * 1000 }
 func kb(n int) float64           { return float64(n) / 1024 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|stages|continuations|all")
+		exp      = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|stages|continuations|ingest|all")
 		checks   = flag.Int("checks", zkvm.DefaultChecks, "zkVM sampled checks per proof")
 		segCyc   = flag.Int("segment-cycles", 0, "prove sweep aggregations as continuation chains sliced every N cycles (0 = single-segment)")
 		csv      = flag.String("csv", "", "write the Figure 4 series as CSV to this path")
@@ -580,6 +740,7 @@ func main() {
 		report.Sweep = expFig4(*checks, *segCyc, *csv)
 		report.Stages = expStages(*checks)
 		report.Continuations = expContinuations(*checks)
+		report.Ingest = expIngest()
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			log.Fatalf("json: %v", err)
@@ -613,6 +774,8 @@ func main() {
 		expStages(*checks)
 	case "continuations":
 		expContinuations(*checks)
+	case "ingest":
+		expIngest()
 	case "all":
 		expFig4(*checks, *segCyc, *csv)
 		expTable1(*checks)
@@ -623,6 +786,7 @@ func main() {
 		expProfile()
 		expStages(*checks)
 		expContinuations(*checks)
+		expIngest()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

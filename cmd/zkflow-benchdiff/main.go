@@ -13,6 +13,11 @@
 // pure timer noise cannot trip it. query_verify_ms stays
 // informational.
 //
+// Ingest throughput (ingest_flows_per_sec) gates in the opposite
+// direction — lower is a regression — with its own absolute noise
+// floor; only in-process inject rows gate, udp rows are sender-paced
+// and stay informational.
+//
 // Stdlib only: this is meant to run in the same bare container as the
 // benchmarks themselves.
 package main
@@ -40,11 +45,20 @@ type stageSplit struct {
 	Stages  map[string]float64 `json:"stages_ms"`
 }
 
+type ingestRow struct {
+	Shards      int     `json:"shards"`
+	Transport   string  `json:"transport"`
+	Protocol    string  `json:"protocol"`
+	FlowsPerSec float64 `json:"ingest_flows_per_sec"`
+	DroppedPct  float64 `json:"dropped_pct"`
+}
+
 type benchReport struct {
-	CPUs   int        `json:"cpus"`
-	Checks int        `json:"checks"`
-	Sweep  []sweepRow `json:"sweep"`
-	Stages stageSplit `json:"stages"`
+	CPUs   int         `json:"cpus"`
+	Checks int         `json:"checks"`
+	Sweep  []sweepRow  `json:"sweep"`
+	Stages stageSplit  `json:"stages"`
+	Ingest []ingestRow `json:"ingest"`
 }
 
 func load(path string) (*benchReport, error) {
@@ -145,6 +159,39 @@ func main() {
 		}
 		d := gate("stages.wall", oldR.Stages.WallMs, newR.Stages.WallMs)
 		fmt.Printf("%-16s  %7.1f -> %-7.1f %s\n", "wall", oldR.Stages.WallMs, newR.Stages.WallMs, d)
+	}
+
+	if len(newR.Ingest) > 0 {
+		// Throughput gates point the other way: a regression is the new
+		// number being LOWER. Relative threshold plus an absolute floor
+		// (ingestNoiseFloorFPS) so scheduler wobble on an otherwise
+		// multi-million-flows/sec lane cannot fail CI. Only in-process
+		// inject rows gate; udp rows are sender-paced and informational.
+		const ingestNoiseFloorFPS = 50_000
+		oldIngest := map[string]ingestRow{}
+		ikey := func(r ingestRow) string {
+			return fmt.Sprintf("%s/%s/shards=%d", r.Transport, r.Protocol, r.Shards)
+		}
+		for _, r := range oldR.Ingest {
+			oldIngest[ikey(r)] = r
+		}
+		fmt.Printf("\n%-24s  %28s\n", "ingest lane", "flows/sec old->new")
+		for _, n := range newR.Ingest {
+			o, ok := oldIngest[ikey(n)]
+			if !ok {
+				fmt.Printf("%-24s  (no baseline)\n", ikey(n))
+				continue
+			}
+			pct := 0.0
+			if o.FlowsPerSec > 0 {
+				pct = 100 * (n.FlowsPerSec - o.FlowsPerSec) / o.FlowsPerSec
+			}
+			if n.Transport == "inject" && -pct > *threshold && o.FlowsPerSec-n.FlowsPerSec > ingestNoiseFloorFPS {
+				regressions = append(regressions, fmt.Sprintf("ingest[%s]: %.0f -> %.0f flows/sec (%+.1f%%)",
+					ikey(n), o.FlowsPerSec, n.FlowsPerSec, pct))
+			}
+			fmt.Printf("%-24s  %9.0f -> %-9.0f %+6.1f%%\n", ikey(n), o.FlowsPerSec, n.FlowsPerSec, pct)
+		}
 	}
 
 	if len(regressions) > 0 {

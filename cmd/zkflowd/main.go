@@ -18,6 +18,7 @@ import (
 
 	"zkflow/internal/api"
 	"zkflow/internal/core"
+	"zkflow/internal/ingest"
 	"zkflow/internal/ledger"
 	"zkflow/internal/obs"
 	"zkflow/internal/remote"
@@ -44,14 +45,16 @@ func main() {
 
 		debugAddr    = flag.String("debug-addr", "", "operator-only pprof+metrics listen address (empty = off; keep it loopback)")
 		metricsEvery = flag.Duration("metrics-every", 0, "log a metrics summary line at this interval (0 = off)")
+
+		ingestAddr    = flag.String("ingest-addr", "", "UDP collector listen address for NetFlow v9 / sFlow exports (empty = simulated collection)")
+		ingestShards  = flag.Int("ingest-shards", 4, "ingest worker shards (routers map to shards by ID)")
+		epochInterval = flag.Duration("epoch-interval", 5*time.Second, "epoch seal interval in ingest mode")
+		replayRecords = flag.Int("replay-records", 0, "self-replay this many records per router per epoch over UDP into the collector (demo/smoke mode)")
 	)
 	flag.Parse()
 
 	st := store.Open(64)
 	lg := ledger.New()
-	sim := router.NewSim(trafficgen.Config{
-		Seed: *seed, NumFlows: *flows, Routers: *routers, LossRate: *loss,
-	}, st, lg)
 	// One registry carries the whole daemon: zkVM stage timings,
 	// scheduler gauges, and the HTTP layer, served at /api/v1/metrics.
 	reg := obs.NewRegistry()
@@ -102,6 +105,88 @@ func main() {
 			res.Epoch, res.Journal.NumRecords, res.Journal.NewCount,
 			d.Seconds()*1000, res.Receipt.Size(), res.Journal.NewRoot.Bytes())
 	}
+
+	// Ingest mode: real UDP collection replaces the simulated tier.
+	// The pipeline seals epochs on a timer; each sealed epoch with
+	// records is aggregated and served exactly like a simulated one.
+	if *ingestAddr != "" {
+		sealed := make(chan ingest.Seal, 64)
+		pl, err := ingest.New(st, lg, ingest.Config{
+			Addr:          *ingestAddr,
+			Shards:        *ingestShards,
+			EpochInterval: *epochInterval,
+			Metrics:       reg,
+			OnSeal: func(s ingest.Seal) {
+				select {
+				case sealed <- s:
+				default:
+					// Aggregation is behind by 64 epochs; dropping the
+					// notification loses a proof round, never records.
+					log.Printf("epoch %d sealed but aggregation backlog full", s.Epoch)
+				}
+			},
+		})
+		if err != nil {
+			log.Fatalf("ingest: %v", err)
+		}
+		if err := pl.Start(); err != nil {
+			log.Fatalf("ingest: %v", err)
+		}
+		go func() {
+			for s := range sealed {
+				if s.Dropped > 0 {
+					log.Printf("epoch %d: %d records dropped at commit (see ingest.records_dropped.* metrics)", s.Epoch, s.Dropped)
+				}
+				if s.Records == 0 {
+					continue
+				}
+				t0 := time.Now()
+				res, err := prover.AggregateEpoch(s.Epoch)
+				if err != nil {
+					log.Printf("epoch %d aggregation failed: %v", s.Epoch, err)
+					continue
+				}
+				if err := srv.AddAggregation(res.Receipt); err != nil {
+					log.Printf("epoch %d: serving receipt: %v", s.Epoch, err)
+					continue
+				}
+				logRound(res, time.Since(t0))
+			}
+		}()
+		if *replayRecords > 0 {
+			go func() {
+				cfg := trafficgen.Config{Seed: *seed, NumFlows: *flows, Routers: *routers, LossRate: *loss}
+				n := *epochs
+				if n <= 0 {
+					n = 1 << 30
+				}
+				for e := 0; e < n; e++ {
+					if _, err := trafficgen.Replay(*ingestAddr, cfg, trafficgen.ReplayOptions{
+						Epochs:           1,
+						RecordsPerRouter: *replayRecords,
+						Protocol:         trafficgen.ProtoV9,
+					}); err != nil {
+						log.Printf("replay: %v", err)
+						return
+					}
+					time.Sleep(*epochInterval)
+				}
+			}()
+		}
+		log.Printf("ingest collector on udp://%s (%d shards, sealing every %v)", *ingestAddr, *ingestShards, *epochInterval)
+		log.Printf("zkflowd listening on http://%s (ingest mode)", *listen)
+		httpSrv := &http.Server{
+			Addr:         *listen,
+			Handler:      srv.Handler(),
+			ReadTimeout:  10 * time.Second,
+			WriteTimeout: 120 * time.Second,
+		}
+		log.Fatal(httpSrv.ListenAndServe())
+	}
+
+	sim := router.NewSim(trafficgen.Config{
+		Seed: *seed, NumFlows: *flows, Routers: *routers, LossRate: *loss,
+	}, st, lg)
 
 	runEpoch := func(epoch uint64) error {
 		if _, err := sim.RunEpoch(context.Background(), epoch, *records); err != nil {

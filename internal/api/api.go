@@ -253,15 +253,21 @@ func (s *Server) handleLedgerV1(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	limit, ok := queryInt(w, r, "limit", DefaultLedgerPageLimit)
+	limit, limitSet, ok := queryIntOpt(w, r, "limit")
 	if !ok {
 		return
+	}
+	if !limitSet {
+		limit = DefaultLedgerPageLimit
 	}
 	if offset < 0 || limit < 0 {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "offset and limit must be non-negative")
 		return
 	}
-	if limit == 0 || limit > MaxLedgerPageLimit {
+	// An explicit limit=0 is a count-only request: the client gets
+	// Total (and an empty page) without paying for any entries. Only
+	// an absent limit selects the default, and oversized limits clamp.
+	if limit > MaxLedgerPageLimit {
 		limit = MaxLedgerPageLimit
 	}
 	entries := s.ledger.Entries()
@@ -333,16 +339,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // queryInt parses an optional integer query parameter, writing a 400
 // envelope and returning ok=false when it is present but malformed.
 func queryInt(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	v, present, ok := queryIntOpt(w, r, name)
+	if !present {
+		return def, ok
+	}
+	return v, ok
+}
+
+// queryIntOpt is queryInt distinguishing "absent" from "explicitly
+// zero": present reports whether the parameter appeared at all.
+func queryIntOpt(w http.ResponseWriter, r *http.Request, name string) (v int, present, ok bool) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
-		return def, true
+		return 0, false, true
 	}
 	v, err := strconv.Atoi(raw)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, name+" must be an integer")
-		return 0, false
+		return 0, true, false
 	}
-	return v, true
+	return v, true, true
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

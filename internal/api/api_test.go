@@ -199,6 +199,49 @@ func TestV1BadRequest(t *testing.T) {
 	decodeEnvelope(t, resp, http.StatusBadRequest, CodeInvalidQuery)
 }
 
+// TestLedgerLimitZeroIsCountOnly pins the pagination fix: an explicit
+// limit=0 used to be coerced to MaxLedgerPageLimit, so count-only
+// polling clients paid for a full page. It must return Total with an
+// empty page, while an absent limit still selects the default.
+func TestLedgerLimitZeroIsCountOnly(t *testing.T) {
+	ts, _ := newTestServer(t, 2) // 2 epochs x 2 routers = 4 commitments
+	getPage := func(query string) LedgerPage {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/api/v1/ledger" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", query, resp.StatusCode)
+		}
+		var page LedgerPage
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		return page
+	}
+	zero := getPage("?limit=0")
+	if zero.Total != 4 || zero.Limit != 0 || len(zero.Entries) != 0 {
+		t.Fatalf("limit=0 page: %+v", zero)
+	}
+	absent := getPage("")
+	if absent.Total != 4 || absent.Limit != DefaultLedgerPageLimit || len(absent.Entries) != 4 {
+		t.Fatalf("default page: total=%d limit=%d entries=%d", absent.Total, absent.Limit, len(absent.Entries))
+	}
+	if over := getPage("?limit=99999"); over.Limit != MaxLedgerPageLimit {
+		t.Fatalf("oversized limit not clamped: %d", over.Limit)
+	}
+	// The client's count-only helper rides the same path.
+	n, err := NewClient(ts.URL, ts.Client()).LedgerTotal(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("LedgerTotal = %d, want 4", n)
+	}
+}
+
 // TestLedgerPagination pages a 4-commitment ledger one entry at a
 // time, both raw and through the client.
 func TestLedgerPagination(t *testing.T) {

@@ -122,6 +122,16 @@ func (c *Client) Ledger(ctx context.Context) (*ledger.Ledger, error) {
 	return ledger.FromEntries(entries)
 }
 
+// LedgerTotal fetches only the ledger length using an explicit
+// limit=0 page — a count-only poll that transfers no entries.
+func (c *Client) LedgerTotal(ctx context.Context) (int, error) {
+	var page LedgerPage
+	if err := c.getJSON(ctx, "/api/v1/ledger?limit=0", &page); err != nil {
+		return 0, err
+	}
+	return page.Total, nil
+}
+
 // AggregationReceipt fetches round n's receipt: a *zkvm.Receipt for
 // single-segment rounds, a *zkvm.CompositeReceipt for continuation
 // rounds — dispatched on the receipt magic.

@@ -1,0 +1,484 @@
+// Package ingest is the production ingress tier: the path from a UDP
+// datagram on the wire to a committed, ledger-published RLog segment.
+// It replaces the in-process synthetic feed (internal/router +
+// internal/trafficgen writing straight into the store) with the
+// collector architecture the paper assumes commodity routers talk to:
+//
+//	packet → decode (NetFlow v9 / sFlow v5) → shard by router →
+//	  per-shard batch buffer → epoch tick → store.Append +
+//	  ledger.Publish(CommitRecords)
+//
+// Records are sharded by RouterID so each (router, epoch) segment is
+// owned by exactly one worker — commitments publish once, with no
+// cross-shard locking on the hot path (hand-off is one buffered
+// channel send). Backpressure is explicit: a full shard queue drops
+// the batch and counts it, it never blocks the socket readers. Every
+// record is accounted for — received equals committed plus
+// dropped-by-cause once the pipeline is drained (Close), and the
+// accounting is surfaced through internal/obs (see metric names
+// below, served at /api/v1/metrics when zkflowd shares its registry).
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"zkflow/internal/ledger"
+	"zkflow/internal/netflow"
+	"zkflow/internal/obs"
+	"zkflow/internal/store"
+)
+
+// Config parameterises a Pipeline.
+type Config struct {
+	// Addr is the UDP listen address (e.g. "127.0.0.1:2055"). Empty
+	// runs without a socket: datagrams arrive only via Inject (tests,
+	// benchmarks, and in-process replay).
+	Addr string
+	// Shards is the ingest worker count; routers map to shards by
+	// RouterID modulo Shards (default 4).
+	Shards int
+	// QueueDepth is the per-shard queue capacity in decoded batches; a
+	// full queue drops (default 1024).
+	QueueDepth int
+	// Readers is the number of UDP reader goroutines sharing the
+	// socket (default 2; ignored without Addr).
+	Readers int
+	// EpochInterval seals an epoch on this period. Zero disables the
+	// internal ticker: epochs advance only on explicit Seal calls.
+	EpochInterval time.Duration
+	// StartEpoch numbers the first epoch (default 0). A daemon
+	// restarting over a persisted store should resume past the store's
+	// newest epoch, or the first flushes land outside the retention
+	// window and count as evicted drops.
+	StartEpoch uint64
+	// Metrics receives the pipeline's counters/gauges/histograms (nil
+	// = a private registry).
+	Metrics *obs.Registry
+	// OnSeal, when non-nil, observes every sealed epoch that committed
+	// or dropped at least one record. It runs on the sealing goroutine:
+	// long work (proof generation!) belongs on the far side of a
+	// channel, not in the callback.
+	OnSeal func(Seal)
+}
+
+// Seal summarises one sealed epoch.
+type Seal struct {
+	Epoch   uint64
+	Routers int // routers committed this epoch
+	Records int // records committed this epoch
+	Dropped int // records dropped at commit (evicted / ledger refusal)
+}
+
+// batch is the unit of hand-off between the decode path and a shard
+// worker: one packet's records, all from one router.
+type batch struct {
+	router uint32
+	recs   []netflow.Record
+}
+
+// shardSeal is one shard's flush result for an epoch.
+type shardSeal struct {
+	routers, records, dropped int
+}
+
+// shard is one ingest worker: a queue, the current epoch's per-router
+// buffers, and the control channels the sealer drives it with.
+type shard struct {
+	ch    chan batch
+	tick  chan uint64
+	ack   chan shardSeal
+	quit  chan struct{}
+	buf   map[uint32][]netflow.Record
+	depth *obs.Gauge
+}
+
+// Pipeline is the ingest front end. Construct with New, then Start;
+// Close drains and flushes. Safe for concurrent Inject/Seal callers.
+type Pipeline struct {
+	cfg Config
+	st  *store.Store
+	lg  *ledger.Ledger
+
+	conn   net.PacketConn
+	shards []*shard
+
+	mu      sync.Mutex // serialises Seal, guards epoch/started/closed
+	epoch   uint64
+	started bool
+	closed  bool
+
+	readersWG  sync.WaitGroup
+	workersWG  sync.WaitGroup
+	tickerWG   sync.WaitGroup
+	tickerStop chan struct{}
+
+	// Metric handles (resolved once; hot paths touch only atomics).
+	datagrams    *obs.Counter // ingest.datagrams
+	datagramsBad *obs.Counter // ingest.datagrams_bad
+	received     *obs.Counter // ingest.records_received
+	committed    *obs.Counter // ingest.records_committed
+	dropQueue    *obs.Counter // ingest.records_dropped.queue_full
+	dropEvicted  *obs.Counter // ingest.records_dropped.evicted
+	dropInvalid  *obs.Counter // ingest.records_dropped.invalid
+	dropLedger   *obs.Counter // ingest.records_dropped.ledger
+	epochsSealed *obs.Counter // ingest.epochs_sealed
+	commitSec    *obs.Histogram
+}
+
+// New builds a pipeline over a store and ledger, binding the UDP
+// socket when cfg.Addr is set (so bind errors surface before any
+// goroutine starts). Call Start to begin ingesting.
+func New(st *store.Store, lg *ledger.Ledger, cfg Config) (*Pipeline, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.Readers <= 0 {
+		cfg.Readers = 2
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	p := &Pipeline{
+		cfg:   cfg,
+		st:    st,
+		lg:    lg,
+		epoch: cfg.StartEpoch,
+
+		datagrams:    reg.Counter("ingest.datagrams"),
+		datagramsBad: reg.Counter("ingest.datagrams_bad"),
+		received:     reg.Counter("ingest.records_received"),
+		committed:    reg.Counter("ingest.records_committed"),
+		dropQueue:    reg.Counter("ingest.records_dropped.queue_full"),
+		dropEvicted:  reg.Counter("ingest.records_dropped.evicted"),
+		dropInvalid:  reg.Counter("ingest.records_dropped.invalid"),
+		dropLedger:   reg.Counter("ingest.records_dropped.ledger"),
+		epochsSealed: reg.Counter("ingest.epochs_sealed"),
+		commitSec:    reg.Histogram("ingest.commit_seconds", obs.DefaultLatencyBuckets),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		p.shards = append(p.shards, &shard{
+			ch:    make(chan batch, cfg.QueueDepth),
+			tick:  make(chan uint64),
+			ack:   make(chan shardSeal),
+			quit:  make(chan struct{}),
+			buf:   make(map[uint32][]netflow.Record),
+			depth: reg.Gauge(fmt.Sprintf("ingest.queue_depth.shard%d", i)),
+		})
+	}
+	if cfg.Addr != "" {
+		conn, err := net.ListenPacket("udp", cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: listen %s: %w", cfg.Addr, err)
+		}
+		p.conn = conn
+	}
+	return p, nil
+}
+
+// Addr returns the bound UDP address (nil without a socket) — useful
+// with ":0" listeners.
+func (p *Pipeline) Addr() net.Addr {
+	if p.conn == nil {
+		return nil
+	}
+	return p.conn.LocalAddr()
+}
+
+// Epoch returns the epoch currently accepting records.
+func (p *Pipeline) Epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// Start launches the shard workers, the UDP readers, and (when
+// EpochInterval is set) the epoch ticker.
+func (p *Pipeline) Start() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return fmt.Errorf("ingest: already started")
+	}
+	if p.closed {
+		return fmt.Errorf("ingest: closed")
+	}
+	p.started = true
+	for _, s := range p.shards {
+		p.workersWG.Add(1)
+		go p.worker(s)
+	}
+	if p.conn != nil {
+		for i := 0; i < p.cfg.Readers; i++ {
+			p.readersWG.Add(1)
+			go p.reader()
+		}
+	}
+	if p.cfg.EpochInterval > 0 {
+		p.tickerStop = make(chan struct{})
+		p.tickerWG.Add(1)
+		go func() {
+			defer p.tickerWG.Done()
+			t := time.NewTicker(p.cfg.EpochInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					p.Seal()
+				case <-p.tickerStop:
+					return
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+// reader pulls datagrams off the socket until the conn closes.
+func (p *Pipeline) reader() {
+	defer p.readersWG.Done()
+	buf := make([]byte, 1<<16)
+	for {
+		n, _, err := p.conn.ReadFrom(buf)
+		if n > 0 {
+			p.Inject(buf[:n])
+		}
+		if err != nil {
+			return // closed (or fatally broken) socket
+		}
+	}
+}
+
+// Inject runs one datagram through the full ingest path — exactly
+// what a UDP reader does with a received packet. The buffer is not
+// retained. Safe for concurrent use, including alongside live readers.
+func (p *Pipeline) Inject(dgram []byte) {
+	p.datagrams.Inc()
+	switch {
+	case len(dgram) >= 4 && binary.BigEndian.Uint32(dgram) == netflow.SFlowVersion:
+		d, err := netflow.DecodeSFlow(dgram)
+		if err != nil {
+			p.datagramsBad.Inc()
+			return
+		}
+		now := uint32(time.Now().Unix())
+		p.dispatch(d.AgentIP, netflow.SFlowToRecords(d, d.AgentIP, now, now))
+	case len(dgram) >= 2 && binary.BigEndian.Uint16(dgram) == netflow.V9Version:
+		pkt, err := netflow.DecodeV9(dgram)
+		if err != nil {
+			p.datagramsBad.Inc()
+			return
+		}
+		p.dispatch(pkt.SourceID, pkt.Records)
+	default:
+		p.datagramsBad.Inc()
+	}
+}
+
+// dispatch validates one packet's records and hands them to the
+// owning shard. A full queue drops the whole batch — never blocks.
+func (p *Pipeline) dispatch(router uint32, recs []netflow.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	p.received.Add(uint64(len(recs)))
+	valid := recs[:0]
+	for i := range recs {
+		if recs[i].Validate() != nil {
+			p.dropInvalid.Inc()
+			continue
+		}
+		valid = append(valid, recs[i])
+	}
+	if len(valid) == 0 {
+		return
+	}
+	s := p.shards[router%uint32(len(p.shards))]
+	select {
+	case s.ch <- batch{router: router, recs: valid}:
+		s.depth.Add(1)
+	default:
+		p.dropQueue.Add(uint64(len(valid)))
+	}
+}
+
+// worker owns one shard: it folds queued batches into the current
+// epoch's per-router buffers and flushes them when the sealer ticks.
+func (p *Pipeline) worker(s *shard) {
+	defer p.workersWG.Done()
+	absorb := func(b batch) {
+		s.depth.Add(-1)
+		s.buf[b.router] = append(s.buf[b.router], b.recs...)
+	}
+	for {
+		select {
+		case b := <-s.ch:
+			absorb(b)
+		case epoch := <-s.tick:
+			// Drain everything already queued so batches enqueued
+			// before the Seal call land in the epoch being sealed.
+			for {
+				select {
+				case b := <-s.ch:
+					absorb(b)
+					continue
+				default:
+				}
+				break
+			}
+			s.ack <- p.flush(s, epoch)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// flush commits one shard's buffered records as (epoch, router)
+// segments: store append first (an out-of-retention epoch refuses the
+// whole segment — the silent-loss fix in store.Append — and counts as
+// evicted drops), then the ledger commitment. A ledger refusal is
+// counted as dropped too: records in the store without a published
+// commitment can never be aggregated.
+func (p *Pipeline) flush(s *shard, epoch uint64) shardSeal {
+	var out shardSeal
+	if len(s.buf) == 0 {
+		return out
+	}
+	t0 := time.Now()
+	routers := make([]uint32, 0, len(s.buf))
+	for r := range s.buf {
+		routers = append(routers, r)
+	}
+	sort.Slice(routers, func(i, j int) bool { return routers[i] < routers[j] })
+	for _, r := range routers {
+		recs := s.buf[r]
+		if dropped, err := p.st.Append(epoch, r, recs); err != nil {
+			p.dropEvicted.Add(uint64(dropped))
+			out.dropped += dropped
+			continue
+		}
+		if _, err := p.lg.Publish(r, epoch, ledger.CommitRecords(recs)); err != nil {
+			p.dropLedger.Add(uint64(len(recs)))
+			out.dropped += len(recs)
+			continue
+		}
+		p.committed.Add(uint64(len(recs)))
+		out.records += len(recs)
+		out.routers++
+	}
+	clear(s.buf)
+	p.commitSec.Observe(time.Since(t0).Seconds())
+	return out
+}
+
+// Seal commits the current epoch across all shards and advances to
+// the next. It is the manual form of the EpochInterval tick; the
+// returned Seal reports what the epoch committed and dropped.
+func (p *Pipeline) Seal() Seal {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sealLocked()
+}
+
+func (p *Pipeline) sealLocked() Seal {
+	info := Seal{Epoch: p.epoch}
+	if !p.started {
+		return info
+	}
+	// Fan the tick out first so shards flush concurrently, then
+	// collect: the seal is a barrier at epoch granularity only.
+	for _, s := range p.shards {
+		s.tick <- info.Epoch
+	}
+	for _, s := range p.shards {
+		r := <-s.ack
+		info.Routers += r.routers
+		info.Records += r.records
+		info.Dropped += r.dropped
+	}
+	p.epoch++
+	p.epochsSealed.Inc()
+	if p.cfg.OnSeal != nil && (info.Records > 0 || info.Dropped > 0) {
+		p.cfg.OnSeal(info)
+	}
+	return info
+}
+
+// Close stops the ticker and readers, seals whatever is buffered into
+// one final epoch, and shuts the workers down. After Close every
+// received record is accounted: received == committed + dropped.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	started := p.started
+	p.mu.Unlock()
+
+	if p.tickerStop != nil {
+		close(p.tickerStop)
+		p.tickerWG.Wait()
+	}
+	if p.conn != nil {
+		p.conn.Close()
+		p.readersWG.Wait()
+	}
+	if started {
+		p.mu.Lock()
+		p.sealLocked()
+		p.mu.Unlock()
+		for _, s := range p.shards {
+			close(s.quit)
+		}
+		p.workersWG.Wait()
+	}
+	return nil
+}
+
+// Stats is a point-in-time copy of the pipeline's accounting.
+type Stats struct {
+	Datagrams    uint64
+	BadDatagrams uint64
+	Received     uint64
+	Committed    uint64
+	DroppedQueue uint64
+	DroppedEvict uint64
+	DroppedBad   uint64
+	DroppedLedgr uint64
+}
+
+// Dropped sums every drop cause.
+func (s Stats) Dropped() uint64 {
+	return s.DroppedQueue + s.DroppedEvict + s.DroppedBad + s.DroppedLedgr
+}
+
+// Unaccounted is received minus committed minus dropped: records
+// still queued or buffered. It must be zero after Close — the
+// zero-silent-loss invariant the tests pin.
+func (s Stats) Unaccounted() int64 {
+	return int64(s.Received) - int64(s.Committed) - int64(s.Dropped())
+}
+
+// Stats snapshots the counters.
+func (p *Pipeline) Stats() Stats {
+	return Stats{
+		Datagrams:    p.datagrams.Value(),
+		BadDatagrams: p.datagramsBad.Value(),
+		Received:     p.received.Value(),
+		Committed:    p.committed.Value(),
+		DroppedQueue: p.dropQueue.Value(),
+		DroppedEvict: p.dropEvicted.Value(),
+		DroppedBad:   p.dropInvalid.Value(),
+		DroppedLedgr: p.dropLedger.Value(),
+	}
+}

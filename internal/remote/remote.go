@@ -240,7 +240,20 @@ func (p *permanentError) Unwrap() error { return p.err }
 // aggregation chain. With opts.SegmentCycles > 0 the worker proves a
 // continuation chain and the result is a *zkvm.CompositeReceipt;
 // otherwise a single *zkvm.Receipt.
+//
+// Prove runs without caller cancellation (it satisfies core.ProveFunc);
+// use ProveContext when the dispatch belongs to a cancellable fan-out.
 func (c *Client) Prove(prog *zkvm.Program, input []uint32, opts zkvm.ProveOptions) (zkvm.AnyReceipt, error) {
+	return c.ProveContext(context.Background(), prog, input, opts)
+}
+
+// ProveContext is Prove under a caller context. Cancellation or
+// expiry of ctx is permanent: the retry loop unwinds immediately
+// instead of burning the remaining backoff budget — a cancelled
+// fan-out used to pay the full retry schedule per worker before
+// returning. Only the per-attempt deadline (Timeout) stays retryable,
+// since a hung worker may answer on the next attempt.
+func (c *Client) ProveContext(ctx context.Context, prog *zkvm.Program, input []uint32, opts zkvm.ProveOptions) (zkvm.AnyReceipt, error) {
 	req := EncodeRequest(prog, input, opts)
 	timeout := c.Timeout
 	if timeout == 0 {
@@ -259,13 +272,23 @@ func (c *Client) Prove(prog *zkvm.Program, input []uint32, opts zkvm.ProveOption
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff << (attempt - 1))
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w: %v (after %d attempts)", ErrRemote, ctx.Err(), attempt)
+			case <-time.After(backoff << (attempt - 1)):
+			}
 		}
-		body, err := c.dispatch(req, timeout)
+		body, err := c.dispatch(ctx, req, timeout)
 		if err != nil {
 			var perm *permanentError
 			if errors.As(err, &perm) {
 				return nil, fmt.Errorf("%w: %v", ErrRemote, perm.err)
+			}
+			// A dead caller context classifies the failure as permanent
+			// no matter how the attempt itself died: retrying cannot
+			// outlive the caller.
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("%w: %v (after %d attempts)", ErrRemote, ctx.Err(), attempt+1)
 			}
 			lastErr = err
 			continue
@@ -275,11 +298,10 @@ func (c *Client) Prove(prog *zkvm.Program, input []uint32, opts zkvm.ProveOption
 	return nil, fmt.Errorf("%w: %d attempts: %v", ErrRemote, retries+1, lastErr)
 }
 
-// dispatch performs one deadline-bounded POST /prove attempt. A
-// non-2xx status below 500 is permanent; transport errors and 5xx are
-// returned plain for the retry loop.
-func (c *Client) dispatch(reqBody []byte, timeout time.Duration) ([]byte, error) {
-	ctx := context.Background()
+// dispatch performs one deadline-bounded POST /prove attempt under the
+// caller's context. A non-2xx status below 500 is permanent; transport
+// errors and 5xx are returned plain for the retry loop.
+func (c *Client) dispatch(ctx context.Context, reqBody []byte, timeout time.Duration) ([]byte, error) {
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)

@@ -263,6 +263,57 @@ func TestClientDeadlineOnHungWorker(t *testing.T) {
 	}
 }
 
+// TestClientContextCancelIsPermanent pins the retry-classification
+// fix: a cancelled caller context used to look like a transport error
+// and burn the full backoff schedule before unwinding. It must abort
+// the loop on the spot — one attempt, no backoff sleeps.
+func TestClientContextCancelIsPermanent(t *testing.T) {
+	var calls atomic.Int32
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		// Hang until the client gives up — but also honor release, so
+		// ts.Close cannot deadlock on this connection if the server
+		// misses the client's abort.
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+	}))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { close(release) }) // LIFO: runs before ts.Close
+	c := NewClient(ts.URL, ts.Client())
+	c.Retries = 8
+	c.Backoff = 500 * time.Millisecond // pre-fix: ≥ 500 ms of sleeps before unwinding
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err := c.ProveContext(ctx, simpleProgram(), []uint32{1, 2}, zkvm.ProveOptions{Checks: 4})
+	elapsed := time.Since(t0)
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("got %v", err)
+	}
+	if elapsed >= c.Backoff {
+		t.Fatalf("cancelled dispatch still ran the backoff loop (%v elapsed)", elapsed)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("cancelled dispatch retried: %d attempts", got)
+	}
+	// An already-expired deadline is equally permanent.
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	t0 = time.Now()
+	if _, err := c.ProveContext(expired, simpleProgram(), []uint32{1, 2}, zkvm.ProveOptions{Checks: 4}); !errors.Is(err, ErrRemote) {
+		t.Fatalf("expired deadline: got %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed >= c.Backoff {
+		t.Fatalf("expired deadline still ran the backoff loop (%v elapsed)", elapsed)
+	}
+}
+
 // TestClientDoesNotRetrySemanticFailures: 4xx responses (guest aborts,
 // malformed requests) are permanent — exactly one attempt.
 func TestClientDoesNotRetrySemanticFailures(t *testing.T) {

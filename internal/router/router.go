@@ -60,7 +60,10 @@ func (s *Sim) RunEpoch(ctx context.Context, epoch uint64, recordsPerRouter int) 
 				return
 			}
 			recs := r.Gen.Batch(r.ID, epoch, recordsPerRouter)
-			s.Store.Append(epoch, r.ID, recs)
+			if dropped, err := s.Store.Append(epoch, r.ID, recs); err != nil {
+				errs[i] = fmt.Errorf("router %d: %d records refused: %w", r.ID, dropped, err)
+				return
+			}
 			_, err := s.Ledger.Publish(r.ID, epoch, ledger.CommitRecords(recs))
 			if err != nil {
 				errs[i] = fmt.Errorf("router %d: %w", r.ID, err)

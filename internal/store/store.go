@@ -44,10 +44,20 @@ func Open(retention int) *Store {
 	return &Store{segments: make(map[segKey][]netflow.Record), retention: retention}
 }
 
-// Append adds records to the (epoch, router) segment.
-func (s *Store) Append(epoch uint64, router uint32, recs []netflow.Record) {
+// Append adds records to the (epoch, router) segment and reports how
+// many were refused. A write to an epoch already outside the retention
+// window is refused whole — dropped is len(recs) and err wraps
+// ErrEvicted — instead of being inserted and immediately evicted,
+// which silently lost the records with no signal to the caller. The
+// ingest path surfaces the dropped count through obs
+// (ingest.records_dropped.evicted).
+func (s *Store) Append(epoch uint64, router uint32, recs []netflow.Record) (dropped int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.evictedLocked(epoch) {
+		return len(recs), fmt.Errorf("%w: append to epoch %d (retention %d, latest %d)",
+			ErrEvicted, epoch, s.retention, s.maxEpoch)
+	}
 	k := segKey{epoch, router}
 	s.segments[k] = append(s.segments[k], recs...)
 	if !s.haveEpoch || epoch > s.maxEpoch {
@@ -55,6 +65,7 @@ func (s *Store) Append(epoch uint64, router uint32, recs []netflow.Record) {
 		s.haveEpoch = true
 	}
 	s.evictLocked()
+	return 0, nil
 }
 
 func (s *Store) evictLocked() {
@@ -210,7 +221,12 @@ func Load(r io.Reader) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.Append(epoch, router, recs)
+		// Save emits segments in ascending epoch order and only retained
+		// ones, so a well-formed file never trips the eviction refusal;
+		// a crafted or corrupted file can.
+		if _, err := s.Append(epoch, router, recs); err != nil {
+			return nil, fmt.Errorf("store: load segment %d/%d: %w", epoch, router, err)
+		}
 	}
 	return s, nil
 }

@@ -68,6 +68,35 @@ func TestRetentionEviction(t *testing.T) {
 	}
 }
 
+// TestAppendEvictedRefused pins the silent-loss fix: appending to an
+// epoch already outside the retention window used to insert the
+// segment and then evict it in the same call, dropping the records
+// with no error. The write must now be refused whole, with the count.
+func TestAppendEvictedRefused(t *testing.T) {
+	s := Open(3)
+	for e := uint64(0); e < 10; e++ {
+		if _, err := s.Append(e, 0, []netflow.Record{rec(uint32(e))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Len()
+	dropped, err := s.Append(2, 0, []netflow.Record{rec(90), rec(91)})
+	if !errors.Is(err, ErrEvicted) {
+		t.Fatalf("append to evicted epoch: err = %v, want ErrEvicted", err)
+	}
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if s.Len() != before {
+		t.Fatalf("evicted append changed Len: %d -> %d", before, s.Len())
+	}
+	// The newest retained epoch must still accept writes and report
+	// zero drops.
+	if dropped, err := s.Append(9, 0, []netflow.Record{rec(92)}); err != nil || dropped != 0 {
+		t.Fatalf("append to retained epoch: dropped=%d err=%v", dropped, err)
+	}
+}
+
 func TestUnlimitedRetention(t *testing.T) {
 	s := Open(0)
 	for e := uint64(0); e < 50; e++ {
