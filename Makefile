@@ -15,9 +15,10 @@ test:
 # Race lane: the packages that fan work out across goroutines — the
 # prover worker pool, the segmented (continuation) proving crew, the
 # epoch pipeline, the retrying remote dispatcher, the metrics
-# registry, the HTTP layer, and the sharded UDP ingest pipeline.
+# registry, the HTTP layer, the sharded UDP ingest pipeline, and the
+# checkpointing ledger plus the light-client sync that reads it.
 race:
-	$(GO) test -race ./internal/zkvm ./internal/core ./internal/api ./internal/remote ./internal/merkle ./internal/obs ./internal/ingest
+	$(GO) test -race ./internal/zkvm ./internal/core ./internal/api ./internal/remote ./internal/merkle ./internal/obs ./internal/ingest ./internal/ledger ./internal/lightsync
 
 # Fuzz lane: each network/storage-facing decoder gets a short
 # randomized run on top of its committed seed + regression corpus.
@@ -45,13 +46,13 @@ bench-parallel:
 # hash kernel, the Merkle arena build, and the fused prover pipeline.
 # Compare against the allocs/op recorded in EXPERIMENTS.md E14.
 # Finishes by regenerating the committed benchmark baseline
-# (BENCH_PR6.json: E1 sweep + stage split + E15 continuation sweep +
-# E16 ingest throughput sweep); gate a branch against it with
-# `zkflow-benchdiff BENCH_PR6.json fresh.json`.
+# (BENCH_PR7.json: E1 sweep + stage split + E15 continuation sweep +
+# E16 ingest throughput sweep + E17 light-client sync); gate a branch
+# against it with `zkflow-benchdiff BENCH_PR7.json fresh.json`.
 bench-commit:
 	$(GO) test -bench='HashLevel|Leaf2' -benchmem -run=^$$ ./internal/hashk
 	$(GO) test -bench='BuildHashes|Build1024' -benchmem -run=^$$ ./internal/merkle
 	$(GO) test -bench='ProveParallel/parallelism=1' -benchmem -run=^$$ .
-	$(GO) run ./cmd/zkflow-bench -json BENCH_PR6.json
+	$(GO) run ./cmd/zkflow-bench -json BENCH_PR7.json
 
 verify: build vet test race

@@ -8,6 +8,7 @@
 //	-exp pipeline     epoch pipelining (witness N+1 overlaps seal N)
 //	-exp specialized  §7 specialized prover vs. zkVM hash throughput
 //	-exp ingest       E16: sustained UDP/inject collector throughput (flows/sec)
+//	-exp lightsync    E17: light-client proof sync vs full audit (bytes + ms)
 //	-exp all          everything above
 //
 // Absolute numbers differ from the paper's Threadripper + RISC Zero
@@ -21,14 +22,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"zkflow/internal/api"
 	"zkflow/internal/clog"
 	"zkflow/internal/core"
+	"zkflow/internal/lightsync"
 	"zkflow/internal/fastagg"
 	"zkflow/internal/gperm"
 	"zkflow/internal/guest"
@@ -141,17 +145,35 @@ type IngestRow struct {
 	DroppedPct  float64 `json:"dropped_pct"`
 }
 
+// LightSyncRow is one point of the E17 light-sync experiment: a light
+// client pinned at the epoch-0 checkpoint syncs forward to the head,
+// verifying the ledger delta, one sampled receipt, and an
+// inclusion-proof spot check, against a full auditor downloading and
+// verifying everything.
+type LightSyncRow struct {
+	Epochs          int     `json:"epochs"`
+	Entries         int     `json:"entries"`
+	Sampled         int     `json:"sampled"`
+	LightBytes      uint64  `json:"light_bytes"`
+	FullBytes       uint64  `json:"full_bytes"`
+	LightBytesPct   float64 `json:"light_bytes_pct"`
+	LightSyncMs     float64 `json:"light_sync_ms"`
+	FullAuditMs     float64 `json:"full_audit_ms"`
+	LightMsPerEpoch float64 `json:"light_ms_per_epoch"`
+}
+
 // BenchReport is the machine-readable output of -json: the E1 sweep
-// plus the stage split and the E15 continuation sweep, with enough
+// plus the stage split and the E15-E17 sweeps, with enough
 // environment to interpret them.
 type BenchReport struct {
-	CPUs          int         `json:"cpus"`
-	Checks        int         `json:"checks"`
-	SegmentCycles int         `json:"segment_cycles,omitempty"`
-	Sweep         []SweepRow  `json:"sweep"`
-	Stages        StageSplit  `json:"stages"`
-	Continuations []ContRow   `json:"continuations,omitempty"`
-	Ingest        []IngestRow `json:"ingest,omitempty"`
+	CPUs          int            `json:"cpus"`
+	Checks        int            `json:"checks"`
+	SegmentCycles int            `json:"segment_cycles,omitempty"`
+	Sweep         []SweepRow     `json:"sweep"`
+	Stages        StageSplit     `json:"stages"`
+	Continuations []ContRow      `json:"continuations,omitempty"`
+	Ingest        []IngestRow    `json:"ingest,omitempty"`
+	LightSync     []LightSyncRow `json:"lightsync,omitempty"`
 }
 
 // numSegments reports the continuation segment count of a receipt (1
@@ -715,12 +737,120 @@ func expIngest() []IngestRow {
 	return rows
 }
 
+// runLightSync stands up an in-process operator with the given number
+// of aggregated, checkpointed epochs, then measures a light sync from
+// the epoch-0 pin against a full audit of the same server.
+func runLightSync(checks, epochs int) LightSyncRow {
+	const recordsPerRouter = 16
+	ctx := context.Background()
+	st := store.Open(0)
+	lg := ledger.New()
+	sim := router.NewSim(trafficgen.Config{Seed: 17, NumFlows: 256, Routers: 2}, st, lg)
+	prover := core.NewProver(st, lg, core.Options{Checks: checks})
+	srv := api.NewServer(prover, lg)
+	for e := 0; e < epochs; e++ {
+		if _, err := sim.RunEpoch(ctx, uint64(e), recordsPerRouter); err != nil {
+			log.Fatalf("lightsync: epoch %d: %v", e, err)
+		}
+		res, err := prover.AggregateEpoch(uint64(e))
+		if err != nil {
+			log.Fatalf("lightsync: epoch %d: %v", e, err)
+		}
+		if err := srv.AddAggregation(uint64(e), res.Receipt); err != nil {
+			log.Fatalf("lightsync: epoch %d: %v", e, err)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Light client: pinned at the epoch-0 checkpoint, one sampled
+	// receipt, inclusion-proof spot check.
+	cp0, err := lg.CheckpointByEpoch(0)
+	if err != nil {
+		log.Fatalf("lightsync: %v", err)
+	}
+	state, err := lightsync.Pin(ts.URL, cp0)
+	if err != nil {
+		log.Fatalf("lightsync: %v", err)
+	}
+	lightClient := api.New(ts.URL, api.WithHTTPClient(ts.Client()), api.WithCache())
+	t0 := time.Now()
+	rep, err := lightsync.Sync(ctx, lightClient, state, lightsync.Options{Samples: 1, Seed: 17})
+	if err != nil {
+		log.Fatalf("lightsync: sync: %v", err)
+	}
+	lightMs := ms(time.Since(t0))
+
+	// Full audit baseline: whole ledger, every receipt, full chain
+	// verification — what zkflow-verify does.
+	fullClient := api.New(ts.URL, api.WithHTTPClient(ts.Client()))
+	t0 = time.Now()
+	flg, err := fullClient.Ledger(ctx)
+	if err != nil {
+		log.Fatalf("lightsync: full audit: %v", err)
+	}
+	verifier := core.NewVerifier(flg)
+	for round := 0; round < epochs; round++ {
+		receipt, err := fullClient.AggregationReceipt(ctx, round)
+		if err != nil {
+			log.Fatalf("lightsync: full audit round %d: %v", round, err)
+		}
+		if _, err := verifier.VerifyAggregation(receipt); err != nil {
+			log.Fatalf("lightsync: full audit round %d: %v", round, err)
+		}
+	}
+	fullMs := ms(time.Since(t0))
+
+	row := LightSyncRow{
+		Epochs:      epochs,
+		Entries:     rep.NewEntries,
+		Sampled:     len(rep.SampledRounds),
+		LightBytes:  rep.Bytes,
+		FullBytes:   fullClient.BytesRead(),
+		LightSyncMs: lightMs,
+		FullAuditMs: fullMs,
+	}
+	if row.FullBytes > 0 {
+		row.LightBytesPct = 100 * float64(row.LightBytes) / float64(row.FullBytes)
+	}
+	if n := len(rep.NewEpochs); n > 0 {
+		row.LightMsPerEpoch = lightMs / float64(n)
+	}
+	return row
+}
+
+// expLightSync is the E17 experiment: verified sync cost for a light
+// client versus a full auditor, as served epochs grow. The acceptance
+// target is a light sync fetching <10% of the full-audit bytes.
+func expLightSync(checks int) []LightSyncRow {
+	fmt.Println("=== E17: light-client proof sync vs full audit ===")
+	fmt.Println("(light: checkpoint delta + 1 sampled receipt + proof spot check; target <10% of full-fetch bytes)")
+	var rows []LightSyncRow
+	fmt.Printf("%7s  %8s  %12s  %12s  %7s  %10s  %10s  %12s\n",
+		"epochs", "entries", "light bytes", "full bytes", "pct", "light ms", "full ms", "ms/epoch")
+	// One sampled receipt costs ~1/N of the receipt corpus, so the
+	// <10% bytes target needs enough epochs to amortize the sample.
+	for _, epochs := range []int{16, 24} {
+		r := runLightSync(checks, epochs)
+		rows = append(rows, r)
+		status := ""
+		if r.LightBytesPct >= 10 {
+			status = "  << above 10% target"
+		}
+		fmt.Printf("%7d  %8d  %12d  %12d  %6.2f%%  %10.1f  %10.1f  %12.2f%s\n",
+			r.Epochs, r.Entries, r.LightBytes, r.FullBytes, r.LightBytesPct,
+			r.LightSyncMs, r.FullAuditMs, r.LightMsPerEpoch, status)
+	}
+	fmt.Println()
+	return rows
+}
+
 func ms(d time.Duration) float64 { return d.Seconds() * 1000 }
 func kb(n int) float64           { return float64(n) / 1024 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|stages|continuations|ingest|all")
+		exp      = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|stages|continuations|ingest|lightsync|all")
 		checks   = flag.Int("checks", zkvm.DefaultChecks, "zkVM sampled checks per proof")
 		segCyc   = flag.Int("segment-cycles", 0, "prove sweep aggregations as continuation chains sliced every N cycles (0 = single-segment)")
 		csv      = flag.String("csv", "", "write the Figure 4 series as CSV to this path")
@@ -741,6 +871,7 @@ func main() {
 		report.Stages = expStages(*checks)
 		report.Continuations = expContinuations(*checks)
 		report.Ingest = expIngest()
+		report.LightSync = expLightSync(*checks)
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			log.Fatalf("json: %v", err)
@@ -776,6 +907,8 @@ func main() {
 		expContinuations(*checks)
 	case "ingest":
 		expIngest()
+	case "lightsync":
+		expLightSync(*checks)
 	case "all":
 		expFig4(*checks, *segCyc, *csv)
 		expTable1(*checks)
@@ -787,6 +920,7 @@ func main() {
 		expStages(*checks)
 		expContinuations(*checks)
 		expIngest()
+		expLightSync(*checks)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

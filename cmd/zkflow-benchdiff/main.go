@@ -18,6 +18,11 @@
 // floor; only in-process inject rows gate, udp rows are sender-paced
 // and stay informational.
 //
+// Light-sync rows (E17) gate on light_bytes_pct — higher is a
+// regression, and any row at or above 10% of full-fetch bytes fails
+// outright — and on light_sync_ms like the other verify times.
+// full_audit_ms is the comparison baseline and stays informational.
+//
 // Stdlib only: this is meant to run in the same bare container as the
 // benchmarks themselves.
 package main
@@ -53,12 +58,24 @@ type ingestRow struct {
 	DroppedPct  float64 `json:"dropped_pct"`
 }
 
+type lightSyncRow struct {
+	Epochs        int     `json:"epochs"`
+	Entries       int     `json:"entries"`
+	Sampled       int     `json:"sampled"`
+	LightBytes    int64   `json:"light_bytes"`
+	FullBytes     int64   `json:"full_bytes"`
+	LightBytesPct float64 `json:"light_bytes_pct"`
+	LightSyncMs   float64 `json:"light_sync_ms"`
+	FullAuditMs   float64 `json:"full_audit_ms"`
+}
+
 type benchReport struct {
-	CPUs   int         `json:"cpus"`
-	Checks int         `json:"checks"`
-	Sweep  []sweepRow  `json:"sweep"`
-	Stages stageSplit  `json:"stages"`
-	Ingest []ingestRow `json:"ingest"`
+	CPUs      int            `json:"cpus"`
+	Checks    int            `json:"checks"`
+	Sweep     []sweepRow     `json:"sweep"`
+	Stages    stageSplit     `json:"stages"`
+	Ingest    []ingestRow    `json:"ingest"`
+	LightSync []lightSyncRow `json:"lightsync"`
 }
 
 func load(path string) (*benchReport, error) {
@@ -191,6 +208,43 @@ func main() {
 					ikey(n), o.FlowsPerSec, n.FlowsPerSec, pct))
 			}
 			fmt.Printf("%-24s  %9.0f -> %-9.0f %+6.1f%%\n", ikey(n), o.FlowsPerSec, n.FlowsPerSec, pct)
+		}
+	}
+
+	if len(newR.LightSync) > 0 {
+		// Light-sync gates. The bytes ratio is the whole point of the
+		// experiment (E17), so it gets two gates: a relative one against
+		// the baseline (with an absolute floor of half a percentage
+		// point, so JSON framing wobble cannot trip it) and a hard cap —
+		// any row at or above 10% of full-fetch bytes fails regardless
+		// of what the baseline said. Sync wall time gates like verify
+		// times (relative + verifyNoiseFloorMs); full_audit_ms is the
+		// baseline lane and stays informational.
+		const lightBytesFloorPct = 0.5
+		const lightBytesHardCapPct = 10.0
+		oldLS := map[int]lightSyncRow{}
+		for _, r := range oldR.LightSync {
+			oldLS[r.Epochs] = r
+		}
+		fmt.Printf("\n%8s  %24s  %22s\n", "epochs", "light bytes% old->new", "light sync old->new")
+		for _, n := range newR.LightSync {
+			if n.LightBytesPct >= lightBytesHardCapPct {
+				regressions = append(regressions, fmt.Sprintf("lightsync[%d]: light fetch is %.2f%% of full (target < %.0f%%)",
+					n.Epochs, n.LightBytesPct, lightBytesHardCapPct))
+			}
+			o, ok := oldLS[n.Epochs]
+			if !ok {
+				fmt.Printf("%8d  (no baseline)\n", n.Epochs)
+				continue
+			}
+			pd, bad := delta(o.LightBytesPct, n.LightBytesPct, *threshold)
+			if bad && n.LightBytesPct-o.LightBytesPct > lightBytesFloorPct {
+				regressions = append(regressions, fmt.Sprintf("lightsync[%d].bytes_pct: %.2f%% -> %.2f%% (%s)",
+					n.Epochs, o.LightBytesPct, n.LightBytesPct, pd))
+			}
+			md := gateVerify(fmt.Sprintf("lightsync[%d].sync_ms", n.Epochs), o.LightSyncMs, n.LightSyncMs)
+			fmt.Printf("%8d  %7.2f%% -> %6.2f%% %s  %5.1f -> %-5.1f %s\n",
+				n.Epochs, o.LightBytesPct, n.LightBytesPct, pd, o.LightSyncMs, n.LightSyncMs, md)
 		}
 	}
 

@@ -34,8 +34,7 @@ func main() {
 	flag.Parse()
 	log.SetFlags(0)
 	ctx := context.Background()
-	client := api.NewClient(*serverURL, nil)
-	client.SetRequestTimeout(*timeout)
+	client := api.New(*serverURL, api.WithTimeout(*timeout), api.WithRetry(2, 250*time.Millisecond))
 
 	status, err := client.Status(ctx)
 	if err != nil {

@@ -1,19 +1,26 @@
 // Package api is the HTTP layer between the operator (zkflowd) and
-// remote auditors (zkflow-verify): the server exposes exactly the
-// public artifacts — status, the commitment ledger, aggregation
-// receipts, and proven query responses — and the client retrieves and
-// re-verifies them. Raw telemetry never crosses this boundary.
+// remote auditors (zkflow-verify, zkflow-light): the server exposes
+// exactly the public artifacts — status, the commitment ledger and
+// its checkpoints, aggregation receipts, inclusion proofs, and proven
+// query responses — and the client retrieves and re-verifies them.
+// Raw telemetry never crosses this boundary.
 //
-// The surface is versioned under /api/v1. Every v1 failure returns a
-// JSON error envelope {"error":{"code":...,"message":...}} with an
-// appropriate status code, and every route enforces its method. The
-// unversioned /api/* routes are thin deprecated aliases kept for
-// pre-v1 clients; they serve the legacy response shapes and advertise
-// their successor via a Deprecation header.
+// The surface is versioned under /api/v1 and registered from a single
+// route table (see routes), which the conformance suite walks. Every
+// v1 failure returns a JSON error envelope
+// {"error":{"code","message"}} with a stable machine-readable code
+// and an appropriate status; every route enforces its method. Sealed
+// artifacts (receipts, by-epoch checkpoints, pinned proofs) carry an
+// ETag and an immutable Cache-Control so consumer-scale fan-out can
+// ride HTTP caches; If-None-Match revalidation costs one 304. The
+// pre-v1 unversioned /api/* routes are retired: they return 410 Gone
+// with a Link header naming the v1 successor.
 package api
 
 import (
+	"crypto/sha256"
 	"encoding/base64"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -25,16 +32,18 @@ import (
 
 	"zkflow/internal/core"
 	"zkflow/internal/ledger"
+	"zkflow/internal/merkle"
 	"zkflow/internal/obs"
 	"zkflow/internal/zkvm"
 )
 
 // Status is the operator status document.
 type Status struct {
-	Rounds     int    `json:"rounds"`
-	Flows      int    `json:"clog_flows"`
-	LedgerLen  int    `json:"ledger_len"`
-	LatestRoot string `json:"latest_root,omitempty"`
+	Rounds      int    `json:"rounds"`
+	Flows       int    `json:"clog_flows"`
+	LedgerLen   int    `json:"ledger_len"`
+	Checkpoints int    `json:"checkpoints"`
+	LatestRoot  string `json:"latest_root,omitempty"`
 }
 
 // QueryRequest is the body of POST /api/v1/query.
@@ -62,6 +71,48 @@ type LedgerPage struct {
 	Entries []ledger.Commitment `json:"entries"`
 }
 
+// CheckpointsResponse is GET /api/v1/checkpoints without an epoch
+// selector: the checkpoint count and the latest head.
+type CheckpointsResponse struct {
+	Total  int                `json:"total"`
+	Latest *ledger.Checkpoint `json:"latest,omitempty"`
+}
+
+// EntryProof pairs one ledger entry with its Merkle inclusion proof.
+type EntryProof struct {
+	Entry ledger.Commitment `json:"entry"`
+	Proof merkle.Proof      `json:"proof"`
+}
+
+// EpochProofResponse is GET /api/v1/ledger/{epoch}/proof: every
+// commitment the epoch published, each proven against Checkpoint.
+type EpochProofResponse struct {
+	Epoch      uint64            `json:"epoch"`
+	Checkpoint ledger.Checkpoint `json:"checkpoint"`
+	Entries    []EntryProof      `json:"entries"`
+}
+
+// ReceiptHint names one aggregation round a light client may sample:
+// the round index to fetch, the epoch it sealed, and its wire size.
+type ReceiptHint struct {
+	Round int    `json:"round"`
+	Epoch uint64 `json:"epoch"`
+	Bytes int    `json:"bytes"`
+}
+
+// SyncHints is GET /api/v1/sync/hints: what a spot-checking client
+// needs to plan a sampled verification pass. SuggestedSamples
+// generalises the LeakageReport sampling bound: verifying that many
+// uniformly chosen rounds catches an operator who tampered >=10% of
+// the listed rounds with >=95% probability ((1-0.1)^29 < 0.05). The
+// hints are operator claims — sampling must use client-side
+// randomness, and every fetched receipt re-verifies from scratch.
+type SyncHints struct {
+	Rounds           int           `json:"rounds"`
+	SuggestedSamples int           `json:"suggested_samples"`
+	Receipts         []ReceiptHint `json:"receipts"`
+}
+
 // Ledger pagination bounds.
 const (
 	DefaultLedgerPageLimit = 512
@@ -79,14 +130,33 @@ type ErrorEnvelope struct {
 	Error Error `json:"error"`
 }
 
-// Stable v1 error codes.
+// Stable v1 error codes. These are API surface: clients dispatch on
+// them, so changing one is a breaking change. DESIGN.md §11 documents
+// which routes emit which.
 const (
-	CodeBadRequest       = "bad_request"
-	CodeInvalidQuery     = "invalid_query"
-	CodeMethodNotAllowed = "method_not_allowed"
-	CodeNotFound         = "not_found"
-	CodeInternal         = "internal"
+	CodeBadRequest        = "bad_request"        // malformed parameter or body
+	CodeInvalidQuery      = "invalid_query"      // SQL failed to parse/compile
+	CodeMethodNotAllowed  = "method_not_allowed" // wrong HTTP method
+	CodeNotFound          = "not_found"          // no such endpoint/round/epoch
+	CodeCheckpointUnknown = "checkpoint_unknown" // checkpoint selector matches no sealed checkpoint
+	CodeGone              = "gone"               // retired pre-v1 route; Link names the successor
+	CodeInternal          = "internal"           // operator-side failure
 )
+
+// AllErrorCodes enumerates every code the v1 surface can emit; the
+// conformance test asserts responses stay within it.
+var AllErrorCodes = []string{
+	CodeBadRequest, CodeInvalidQuery, CodeMethodNotAllowed,
+	CodeNotFound, CodeCheckpointUnknown, CodeGone, CodeInternal,
+}
+
+// servedReceipt is one sealed aggregation round: its wire bytes, the
+// epoch it covered, and the strong ETag the immutable route serves.
+type servedReceipt struct {
+	epoch uint64
+	bin   []byte
+	etag  string
+}
 
 // Server serves the operator's public artifacts.
 type Server struct {
@@ -95,9 +165,10 @@ type Server struct {
 
 	metrics      *obs.Registry
 	receiptBytes *obs.Counter
+	notModified  *obs.Counter
 
 	mu       sync.RWMutex
-	receipts [][]byte
+	receipts []servedReceipt
 }
 
 // NewServer wraps a prover and its public ledger. The server meters
@@ -113,40 +184,115 @@ func (s *Server) UseRegistry(reg *obs.Registry) { s.metrics = reg }
 
 // AddAggregation registers a completed round's receipt for serving —
 // single-segment or a continuation composite; the wire format is the
-// receipt's own magic-tagged binary encoding either way.
-func (s *Server) AddAggregation(r zkvm.AnyReceipt) error {
+// receipt's own magic-tagged binary encoding either way. epoch is the
+// epoch the round sealed (AggregationResult.Epoch); it keys the
+// sync-hint and sampling surface.
+func (s *Server) AddAggregation(epoch uint64, r zkvm.AnyReceipt) error {
 	bin, err := r.MarshalBinary()
 	if err != nil {
 		return err
 	}
+	sum := sha256.Sum256(bin)
 	s.mu.Lock()
-	s.receipts = append(s.receipts, bin)
+	s.receipts = append(s.receipts, servedReceipt{
+		epoch: epoch,
+		bin:   bin,
+		etag:  `"agg-` + hex.EncodeToString(sum[:12]) + `"`,
+	})
 	s.mu.Unlock()
 	return nil
 }
 
-// Handler returns the HTTP handler: the v1 surface plus the
-// deprecated unversioned aliases. Every route is wrapped by the
-// metrics middleware (per-route request counters by status class and
-// a latency histogram). The pprof debug mux is deliberately NOT here:
-// it only exists behind zkflowd's -debug-addr listener.
+// RouteInfo describes one registered route — the single source of
+// truth the conformance suite walks.
+type RouteInfo struct {
+	// Name is the metrics label (http.requests.<name>.*).
+	Name string
+	// Method is the enforced HTTP method ("" = any).
+	Method string
+	// Pattern is the mux registration pattern.
+	Pattern string
+	// Probe is a concrete path expected to succeed (2xx unless Gone)
+	// against the conformance fixture: a server with 2 routers and at
+	// least one aggregated, checkpointed epoch.
+	Probe string
+	// CacheProbe, when non-empty, is a concrete path (same fixture)
+	// whose 200 response must carry a strong ETag and an immutable
+	// Cache-Control, and answer If-None-Match with 304.
+	CacheProbe string
+	// Gone marks a retired legacy alias: Probe must return 410 with a
+	// successor Link header.
+	Gone bool
+}
+
+// route pairs the public description with the handler.
+type route struct {
+	info RouteInfo
+	h    http.HandlerFunc
+}
+
+// routes is the v1 surface plus the retired aliases, in registration
+// order. Handler and RouteTable both derive from it.
+func (s *Server) routes() []route {
+	v1 := []route{
+		{RouteInfo{Name: "status", Method: http.MethodGet, Pattern: "/api/v1/status", Probe: "/api/v1/status"}, s.handleStatus},
+		{RouteInfo{Name: "ledger", Method: http.MethodGet, Pattern: "/api/v1/ledger", Probe: "/api/v1/ledger"}, s.handleLedgerV1},
+		{RouteInfo{Name: "ledger_proof", Method: http.MethodGet, Pattern: "/api/v1/ledger/{epoch}/proof", Probe: "/api/v1/ledger/0/proof", CacheProbe: "/api/v1/ledger/0/proof?checkpoint=2"}, s.handleEpochProof},
+		{RouteInfo{Name: "checkpoints", Method: http.MethodGet, Pattern: "/api/v1/checkpoints", Probe: "/api/v1/checkpoints", CacheProbe: "/api/v1/checkpoints?epoch=0"}, s.handleCheckpoints},
+		{RouteInfo{Name: "sync_hints", Method: http.MethodGet, Pattern: "/api/v1/sync/hints", Probe: "/api/v1/sync/hints"}, s.handleSyncHints},
+		{RouteInfo{Name: "receipts_agg", Method: http.MethodGet, Pattern: "/api/v1/receipts/agg/{round}", Probe: "/api/v1/receipts/agg/0", CacheProbe: "/api/v1/receipts/agg/0"}, s.handleReceipt},
+		{RouteInfo{Name: "query", Method: http.MethodPost, Pattern: "/api/v1/query"}, s.handleQuery},
+		{RouteInfo{Name: "metrics", Method: http.MethodGet, Pattern: "/api/v1/metrics", Probe: "/api/v1/metrics"}, s.handleMetrics},
+		{RouteInfo{Name: "other", Pattern: "/api/v1/"}, func(w http.ResponseWriter, r *http.Request) {
+			writeError(w, http.StatusNotFound, CodeNotFound, "no such endpoint: "+r.URL.Path)
+		}},
+	}
+	// Retired pre-v1 aliases: 410 Gone, any method, successor in Link.
+	for _, g := range []struct{ old, succ string }{
+		{"/api/status", "/api/v1/status"},
+		{"/api/ledger", "/api/v1/ledger"},
+		{"/api/receipts/agg/", "/api/v1/receipts/agg/"},
+		{"/api/query", "/api/v1/query"},
+	} {
+		succ := g.succ
+		v1 = append(v1, route{
+			RouteInfo{Name: "legacy_gone", Pattern: g.old, Probe: strings.TrimSuffix(g.old, "/"), Gone: true},
+			func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", succ))
+				writeError(w, http.StatusGone, CodeGone, "retired endpoint; use "+succ)
+			},
+		})
+	}
+	return v1
+}
+
+// RouteTable exposes the registered routes for conformance testing
+// and documentation generation.
+func (s *Server) RouteTable() []RouteInfo {
+	rs := s.routes()
+	out := make([]RouteInfo, len(rs))
+	for i := range rs {
+		out[i] = rs[i].info
+	}
+	return out
+}
+
+// Handler returns the HTTP handler, built from the route table. Every
+// route is wrapped by the metrics middleware (per-route request
+// counters by status class and a latency histogram). The pprof debug
+// mux is deliberately NOT here: it only exists behind zkflowd's
+// -debug-addr listener.
 func (s *Server) Handler() http.Handler {
 	s.receiptBytes = s.metrics.Counter("http.receipt_bytes")
+	s.notModified = s.metrics.Counter("http.not_modified")
 	mux := http.NewServeMux()
-	// Versioned surface.
-	mux.HandleFunc("/api/v1/status", s.instrument("status", method(http.MethodGet, s.handleStatus)))
-	mux.HandleFunc("/api/v1/ledger", s.instrument("ledger", method(http.MethodGet, s.handleLedgerV1)))
-	mux.HandleFunc("/api/v1/receipts/agg/", s.instrument("receipts_agg", method(http.MethodGet, s.handleReceipt)))
-	mux.HandleFunc("/api/v1/query", s.instrument("query", method(http.MethodPost, s.handleQuery)))
-	mux.HandleFunc("/api/v1/metrics", s.instrument("metrics", method(http.MethodGet, s.handleMetrics)))
-	mux.HandleFunc("/api/v1/", s.instrument("other", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, http.StatusNotFound, CodeNotFound, "no such endpoint: "+r.URL.Path)
-	}))
-	// Deprecated aliases (pre-v1 paths and response shapes).
-	mux.HandleFunc("/api/status", s.instrument("status", deprecated("/api/v1/status", method(http.MethodGet, s.handleStatus))))
-	mux.HandleFunc("/api/ledger", s.instrument("ledger", deprecated("/api/v1/ledger", method(http.MethodGet, s.handleLedgerLegacy))))
-	mux.HandleFunc("/api/receipts/agg/", s.instrument("receipts_agg", deprecated("/api/v1/receipts/agg/", method(http.MethodGet, s.handleReceipt))))
-	mux.HandleFunc("/api/query", s.instrument("query", deprecated("/api/v1/query", method(http.MethodPost, s.handleQuery))))
+	for _, rt := range s.routes() {
+		h := rt.h
+		if rt.info.Method != "" {
+			h = method(rt.info.Method, h)
+		}
+		mux.HandleFunc(rt.info.Pattern, s.instrument(rt.info.Name, h))
+	}
 	return mux
 }
 
@@ -221,14 +367,41 @@ func method(want string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// deprecated marks a legacy alias with the standard Deprecation
-// header and a pointer to its v1 successor.
-func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
-		h(w, r)
+// immutable marks the response as a sealed artifact (strong ETag,
+// year-long immutable Cache-Control) and answers a matching
+// If-None-Match with 304. Returns true when the 304 completed the
+// response.
+func (s *Server) immutable(w http.ResponseWriter, r *http.Request, etag string) bool {
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		if s.notModified != nil {
+			s.notModified.Inc()
+		}
+		return true
 	}
+	return false
+}
+
+// etagMatches implements the If-None-Match comparison: a comma-
+// separated candidate list, weak validators compared by opaque value,
+// and the * wildcard.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if header == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) status() Status {
@@ -236,7 +409,12 @@ func (s *Server) status() Status {
 	rounds := len(s.receipts)
 	s.mu.RUnlock()
 	_, n := s.ledger.Head()
-	st := Status{Rounds: rounds, Flows: s.prover.CLogLen(), LedgerLen: n}
+	st := Status{
+		Rounds:      rounds,
+		Flows:       s.prover.CLogLen(),
+		LedgerLen:   n,
+		Checkpoints: len(s.ledger.Checkpoints()),
+	}
 	if hist := s.prover.History(); len(hist) > 0 {
 		st.LatestRoot = fmt.Sprintf("%x", hist[len(hist)-1].Journal.NewRoot.Bytes())
 	}
@@ -282,15 +460,125 @@ func (s *Server) handleLedgerV1(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, page)
 }
 
-// handleLedgerLegacy serves the whole ledger as the pre-v1 bare array.
-func (s *Server) handleLedgerLegacy(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.ledger.Entries())
+// handleCheckpoints serves the checkpoint surface: with ?epoch=N the
+// sealed (immutable, cacheable) checkpoint for that epoch; otherwise
+// the mutable "latest" document.
+func (s *Server) handleCheckpoints(w http.ResponseWriter, r *http.Request) {
+	if raw := r.URL.Query().Get("epoch"); raw != "" {
+		epoch, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "epoch must be a non-negative integer")
+			return
+		}
+		cp, err := s.ledger.CheckpointByEpoch(epoch)
+		if err != nil {
+			writeError(w, http.StatusNotFound, CodeCheckpointUnknown, fmt.Sprintf("no checkpoint sealed for epoch %d", epoch))
+			return
+		}
+		if s.immutable(w, r, checkpointETag(cp)) {
+			return
+		}
+		writeJSON(w, cp)
+		return
+	}
+	cps := s.ledger.Checkpoints()
+	resp := CheckpointsResponse{Total: len(cps)}
+	if len(cps) > 0 {
+		resp.Latest = &cps[len(cps)-1]
+	}
+	writeJSON(w, resp)
+}
+
+// checkpointETag derives the strong ETag of a sealed checkpoint from
+// its digest.
+func checkpointETag(cp ledger.Checkpoint) string {
+	d := cp.Digest()
+	return `"cp-` + hex.EncodeToString(d[:12]) + `"`
+}
+
+// handleEpochProof serves Merkle inclusion proofs for every
+// commitment an epoch published, against a checkpoint: the latest by
+// default, or the one covering exactly ?checkpoint=<count> entries —
+// the form a light client pins, which is immutable and cacheable.
+func (s *Server) handleEpochProof(w http.ResponseWriter, r *http.Request) {
+	epoch, err := strconv.ParseUint(r.PathValue("epoch"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "epoch must be a non-negative integer")
+		return
+	}
+	var cp ledger.Checkpoint
+	pinned := false
+	if raw := r.URL.Query().Get("checkpoint"); raw != "" {
+		count, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "checkpoint must be an entry count")
+			return
+		}
+		if cp, err = s.ledger.CheckpointByCount(count); err != nil {
+			writeError(w, http.StatusNotFound, CodeCheckpointUnknown, fmt.Sprintf("no checkpoint covers exactly %d entries", count))
+			return
+		}
+		pinned = true
+	} else if cp, err = s.ledger.LatestCheckpoint(); err != nil {
+		writeError(w, http.StatusNotFound, CodeCheckpointUnknown, "no checkpoint sealed yet")
+		return
+	}
+	resp := EpochProofResponse{Epoch: epoch, Checkpoint: cp, Entries: []EntryProof{}}
+	for _, c := range s.ledger.Entries() {
+		if c.Epoch != epoch || c.Index >= cp.Count {
+			continue
+		}
+		p, err := s.ledger.ProveInclusion(c.Index, cp)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+			return
+		}
+		resp.Entries = append(resp.Entries, EntryProof{Entry: c, Proof: p})
+	}
+	if len(resp.Entries) == 0 {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no commitments for epoch %d under that checkpoint", epoch))
+		return
+	}
+	if pinned {
+		// Proofs against an explicitly pinned checkpoint never change.
+		d := cp.Digest()
+		if s.immutable(w, r, fmt.Sprintf(`"proof-%d-%s"`, epoch, hex.EncodeToString(d[:12]))) {
+			return
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// handleSyncHints serves the spot-verification planning surface:
+// which rounds exist, which epochs they sealed, their sizes, and the
+// sampling bound. ?from=<epoch> restricts hints to later epochs.
+func (s *Server) handleSyncHints(w http.ResponseWriter, r *http.Request) {
+	from := int64(-1)
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 63)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "from must be a non-negative integer epoch")
+			return
+		}
+		from = int64(v)
+	}
+	s.mu.RLock()
+	hints := SyncHints{Rounds: len(s.receipts), Receipts: []ReceiptHint{}}
+	for i, rec := range s.receipts {
+		if from >= 0 && rec.epoch <= uint64(from) {
+			continue
+		}
+		hints.Receipts = append(hints.Receipts, ReceiptHint{Round: i, Epoch: rec.epoch, Bytes: len(rec.bin)})
+	}
+	s.mu.RUnlock()
+	// (1-0.1)^29 < 0.05: 29 uniform samples catch a >=10% tamper rate
+	// with >=95% probability; fewer rounds than that, sample them all.
+	hints.SuggestedSamples = min(len(hints.Receipts), 29)
+	writeJSON(w, hints)
 }
 
 func (s *Server) handleReceipt(w http.ResponseWriter, r *http.Request) {
-	path := r.URL.Path
-	idx := strings.LastIndex(path, "/receipts/agg/")
-	n, err := strconv.Atoi(path[idx+len("/receipts/agg/"):])
+	n, err := strconv.Atoi(r.PathValue("round"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "round index must be an integer")
 		return
@@ -301,8 +589,12 @@ func (s *Server) handleReceipt(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("round %d not aggregated yet", n))
 		return
 	}
+	rec := s.receipts[n]
+	if s.immutable(w, r, rec.etag) {
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	written, err := w.Write(s.receipts[n])
+	written, err := w.Write(rec.bin)
 	if err != nil {
 		log.Printf("api: writing receipt %d: %v", n, err)
 	}

@@ -32,7 +32,7 @@ func newTestServer(t *testing.T, epochs int) (*httptest.Server, *Server) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := srv.AddAggregation(res.Receipt); err != nil {
+		if err := srv.AddAggregation(uint64(e), res.Receipt); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -43,7 +43,7 @@ func newTestServer(t *testing.T, epochs int) (*httptest.Server, *Server) {
 
 func TestFullRemoteAuditFlow(t *testing.T) {
 	ts, _ := newTestServer(t, 2)
-	c := NewClient(ts.URL, ts.Client())
+	c := New(ts.URL, WithHTTPClient(ts.Client()))
 	ctx := context.Background()
 
 	st, err := c.Status(ctx)
@@ -85,7 +85,7 @@ func TestFullRemoteAuditFlow(t *testing.T) {
 
 func TestQueryRejectsBadSQL(t *testing.T) {
 	ts, _ := newTestServer(t, 1)
-	c := NewClient(ts.URL, ts.Client())
+	c := New(ts.URL, WithHTTPClient(ts.Client()))
 	if _, _, err := c.Query(context.Background(), "SELECT NONSENSE"); err == nil {
 		t.Fatal("bad SQL accepted")
 	}
@@ -93,15 +93,13 @@ func TestQueryRejectsBadSQL(t *testing.T) {
 
 func TestQueryRejectsGet(t *testing.T) {
 	ts, _ := newTestServer(t, 1)
-	for _, path := range []string{"/api/query", "/api/v1/query"} {
-		resp, err := ts.Client().Get(ts.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusMethodNotAllowed {
-			t.Fatalf("%s: status %d", path, resp.StatusCode)
-		}
+	resp, err := ts.Client().Get(ts.URL + "/api/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d", resp.StatusCode)
 	}
 }
 
@@ -136,8 +134,6 @@ func TestV1MethodNotAllowed(t *testing.T) {
 		{http.MethodPost, "/api/v1/ledger"},
 		{http.MethodPost, "/api/v1/receipts/agg/0"},
 		{http.MethodGet, "/api/v1/query"},
-		{http.MethodDelete, "/api/status"},
-		{http.MethodPut, "/api/ledger"},
 	} {
 		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
 		if err != nil {
@@ -233,7 +229,7 @@ func TestLedgerLimitZeroIsCountOnly(t *testing.T) {
 		t.Fatalf("oversized limit not clamped: %d", over.Limit)
 	}
 	// The client's count-only helper rides the same path.
-	n, err := NewClient(ts.URL, ts.Client()).LedgerTotal(context.Background())
+	n, err := New(ts.URL, WithHTTPClient(ts.Client())).LedgerTotal(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,8 +275,7 @@ func TestLedgerPagination(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The client pages transparently and still verifies the chain.
-	c := NewClient(ts.URL, ts.Client())
-	c.SetLedgerPageSize(1)
+	c := New(ts.URL, WithHTTPClient(ts.Client()), WithPageSize(1))
 	lg, err := c.Ledger(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -290,54 +285,35 @@ func TestLedgerPagination(t *testing.T) {
 	}
 }
 
-// TestLegacyAliases checks the unversioned paths still serve the
-// pre-v1 shapes and are marked deprecated.
-func TestLegacyAliases(t *testing.T) {
+// TestLegacyAliasesGone checks the retired unversioned paths answer
+// 410 Gone with the v1 successor in the Link header, for any method.
+func TestLegacyAliasesGone(t *testing.T) {
 	ts, _ := newTestServer(t, 1)
-	resp, err := ts.Client().Get(ts.URL + "/api/status")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.Header.Get("Deprecation") != "true" {
-		t.Fatal("alias not marked deprecated")
-	}
-	var st Status
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if st.Rounds != 1 {
-		t.Fatalf("status via alias: %+v", st)
-	}
-
-	// Legacy ledger: bare array, not a page envelope.
-	resp, err = ts.Client().Get(ts.URL + "/api/ledger")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var entries []ledger.Commitment
-	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if len(entries) != 2 {
-		t.Fatalf("alias ledger has %d entries", len(entries))
-	}
-
-	// Legacy receipt path still serves bytes.
-	resp, err = ts.Client().Get(ts.URL + "/api/receipts/agg/0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("alias receipt status %d", resp.StatusCode)
+	for _, tc := range []struct{ method, path, succ string }{
+		{http.MethodGet, "/api/status", "/api/v1/status"},
+		{http.MethodGet, "/api/ledger", "/api/v1/ledger"},
+		{http.MethodGet, "/api/receipts/agg/0", "/api/v1/receipts/agg/"},
+		{http.MethodPost, "/api/query", "/api/v1/query"},
+		{http.MethodDelete, "/api/status", "/api/v1/status"},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, tc.succ) || !strings.Contains(link, "successor-version") {
+			t.Fatalf("%s %s: Link %q does not name successor %s", tc.method, tc.path, link, tc.succ)
+		}
+		decodeEnvelope(t, resp, http.StatusGone, CodeGone)
 	}
 }
 
 func TestReceiptNotFound(t *testing.T) {
 	ts, _ := newTestServer(t, 1)
-	c := NewClient(ts.URL, ts.Client())
+	c := New(ts.URL, WithHTTPClient(ts.Client()))
 	ctx := context.Background()
 	if _, err := c.AggregationReceipt(ctx, 5); err == nil {
 		t.Fatal("missing receipt served")
@@ -345,7 +321,7 @@ func TestReceiptNotFound(t *testing.T) {
 	if _, err := c.AggregationReceipt(ctx, -1); err == nil {
 		t.Fatal("negative round served")
 	}
-	resp, err := ts.Client().Get(ts.URL + "/api/receipts/agg/notanumber")
+	resp, err := ts.Client().Get(ts.URL + "/api/v1/receipts/agg/notanumber")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,21 +334,19 @@ func TestReceiptNotFound(t *testing.T) {
 func TestOversizeQueryBodyRejected(t *testing.T) {
 	ts, _ := newTestServer(t, 1)
 	big := `{"sql": "` + strings.Repeat("x", 1<<17) + `"}`
-	for _, path := range []string{"/api/query", "/api/v1/query"} {
-		resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(big))
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode == http.StatusOK {
-			t.Fatalf("%s: oversize body accepted", path)
-		}
+	resp, err := ts.Client().Post(ts.URL+"/api/v1/query", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("oversize body accepted")
 	}
 }
 
 func TestCancelledContext(t *testing.T) {
 	ts, _ := newTestServer(t, 1)
-	c := NewClient(ts.URL, ts.Client())
+	c := New(ts.URL, WithHTTPClient(ts.Client()))
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, err := c.Status(ctx); err == nil {
@@ -385,9 +359,9 @@ func TestTamperedServedReceiptCaughtByClientVerifier(t *testing.T) {
 	// The operator serves a corrupted receipt (e.g. bit rot or a
 	// malicious swap): the remote verifier must reject it.
 	srv.mu.Lock()
-	srv.receipts[0][60] ^= 0xff
+	srv.receipts[0].bin[60] ^= 0xff
 	srv.mu.Unlock()
-	c := NewClient(ts.URL, ts.Client())
+	c := New(ts.URL, WithHTTPClient(ts.Client()))
 	ctx := context.Background()
 	lg, err := c.Ledger(ctx)
 	if err != nil {

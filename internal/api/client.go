@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 
 	"zkflow/internal/ledger"
@@ -18,42 +20,119 @@ import (
 // when the caller's context carries no deadline of its own.
 const DefaultRequestTimeout = 2 * time.Minute
 
-// Client talks to a zkflowd server over the v1 API. The zero value is
-// not usable; call NewClient. Every method takes a context that
-// cancels the underlying request; on top of it each request gets a
-// per-request timeout (DefaultRequestTimeout unless overridden with
-// SetRequestTimeout).
+// maxReceiptBytes bounds a single downloaded receipt.
+const maxReceiptBytes = 256 << 20
+
+// Client talks to a zkflowd server over the v1 API. Construct with
+// New; the zero value is not usable. Every method takes a context
+// that cancels the underlying request; on top of it each request gets
+// a per-request timeout (DefaultRequestTimeout unless overridden with
+// WithTimeout). A Client is safe for concurrent use.
 type Client struct {
 	base     string
 	http     *http.Client
 	timeout  time.Duration
 	pageSize int
+	retries  int
+	backoff  time.Duration
+
+	mu        sync.Mutex
+	cache     map[string]cacheEntry // nil unless WithCache
+	bytesRead uint64
+	cacheHits uint64
 }
 
-// NewClient creates a client for the given base URL (e.g.
-// "http://127.0.0.1:8471"). httpClient may be nil for the default.
-func NewClient(base string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = http.DefaultClient
+// cacheEntry is one validated immutable response: the ETag the server
+// issued and the body it authenticates.
+type cacheEntry struct {
+	etag string
+	body []byte
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (e.g. a test
+// server's client, or one with a custom transport). nil keeps the
+// default.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) {
+		if h != nil {
+			c.http = h
+		}
 	}
-	return &Client{
+}
+
+// WithTimeout overrides the per-request timeout. 0 disables it; the
+// caller's context still applies.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithPageSize overrides the page size Ledger and LedgerRange use
+// when fetching the commitment ledger.
+func WithPageSize(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.pageSize = n
+		}
+	}
+}
+
+// WithRetry retries failed GETs (transport errors and 5xx responses)
+// up to n extra times with linear backoff. POSTs are never retried —
+// the v1 POST surface (query proving) is expensive and not
+// idempotent from the operator's point of view.
+func WithRetry(n int, backoff time.Duration) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.retries = n
+		}
+		if backoff > 0 {
+			c.backoff = backoff
+		}
+	}
+}
+
+// WithCache enables the client-side validation cache: immutable
+// responses are stored with their ETag, revalidated with
+// If-None-Match, and replayed on 304 — the light-client sync path
+// uses this so re-syncs transfer almost nothing.
+func WithCache() Option {
+	return func(c *Client) { c.cache = make(map[string]cacheEntry) }
+}
+
+// New creates a client for the given base URL (e.g.
+// "http://127.0.0.1:8471").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
 		base:     base,
-		http:     httpClient,
+		http:     http.DefaultClient,
 		timeout:  DefaultRequestTimeout,
 		pageSize: DefaultLedgerPageLimit,
+		backoff:  250 * time.Millisecond,
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
-// SetRequestTimeout overrides the per-request timeout (0 disables it;
-// the caller's context still applies).
-func (c *Client) SetRequestTimeout(d time.Duration) { c.timeout = d }
+// BytesRead reports the total response-body bytes this client has
+// read off the wire (304 revalidations count zero) — the measure the
+// light-sync experiment (E17) compares against a full fetch.
+func (c *Client) BytesRead() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytesRead
+}
 
-// SetLedgerPageSize overrides the page size Ledger uses when syncing
-// the commitment ledger.
-func (c *Client) SetLedgerPageSize(n int) {
-	if n > 0 {
-		c.pageSize = n
-	}
+// CacheHits reports how many requests were satisfied by a 304
+// revalidation of the local cache.
+func (c *Client) CacheHits() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cacheHits
 }
 
 // requestCtx derives the per-request context.
@@ -66,8 +145,7 @@ func (c *Client) requestCtx(ctx context.Context) (context.Context, context.Cance
 
 // apiError turns a non-200 response into an error, preferring the v1
 // JSON envelope and falling back to the raw body.
-func apiError(path string, resp *http.Response) error {
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+func apiError(path string, resp *http.Response, body []byte) error {
 	var env ErrorEnvelope
 	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
 		return fmt.Errorf("api: %s: %s: %s (%s)", path, resp.Status, env.Error.Message, env.Error.Code)
@@ -75,22 +153,83 @@ func apiError(path string, resp *http.Response) error {
 	return fmt.Errorf("api: %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
 }
 
-func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+// get fetches path with retries and the validation cache, returning
+// the response body.
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(time.Duration(attempt) * c.backoff):
+			}
+		}
+		body, retryable, err := c.getOnce(ctx, path)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if !retryable {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) getOnce(ctx context.Context, path string) (body []byte, retryable bool, err error) {
 	ctx, cancel := c.requestCtx(ctx)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
-		return err
+		return nil, false, err
+	}
+	var cached cacheEntry
+	if c.cache != nil {
+		c.mu.Lock()
+		cached = c.cache[path]
+		c.mu.Unlock()
+		if cached.etag != "" {
+			req.Header.Set("If-None-Match", cached.etag)
+		}
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return nil, true, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return apiError(path, resp)
+	if resp.StatusCode == http.StatusNotModified && cached.etag != "" {
+		c.mu.Lock()
+		c.cacheHits++
+		c.mu.Unlock()
+		return cached.body, false, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(v)
+	body, err = io.ReadAll(io.LimitReader(resp.Body, maxReceiptBytes))
+	if err != nil {
+		return nil, true, err
+	}
+	c.mu.Lock()
+	c.bytesRead += uint64(len(body))
+	c.mu.Unlock()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode >= 500, apiError(path, resp, body)
+	}
+	if c.cache != nil {
+		if etag := resp.Header.Get("ETag"); etag != "" {
+			c.mu.Lock()
+			c.cache[path] = cacheEntry{etag: etag, body: body}
+			c.mu.Unlock()
+		}
+	}
+	return body, false, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	body, err := c.get(ctx, path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
 }
 
 // Status fetches the operator status.
@@ -122,6 +261,32 @@ func (c *Client) Ledger(ctx context.Context) (*ledger.Ledger, error) {
 	return ledger.FromEntries(entries)
 }
 
+// LedgerRange fetches entries [offset, offset+n) WITHOUT verifying
+// the chain — the light-client delta fetch, whose caller verifies the
+// result against a checkpoint with ledger.VerifyExtension. Short
+// reads happen only at the chain tip.
+func (c *Client) LedgerRange(ctx context.Context, offset, n int) ([]ledger.Commitment, error) {
+	var out []ledger.Commitment
+	for n > 0 {
+		limit := n
+		if limit > c.pageSize {
+			limit = c.pageSize
+		}
+		var page LedgerPage
+		path := fmt.Sprintf("/api/v1/ledger?offset=%d&limit=%d", offset, limit)
+		if err := c.getJSON(ctx, path, &page); err != nil {
+			return nil, err
+		}
+		if len(page.Entries) == 0 {
+			break
+		}
+		out = append(out, page.Entries...)
+		offset += len(page.Entries)
+		n -= len(page.Entries)
+	}
+	return out, nil
+}
+
 // LedgerTotal fetches only the ledger length using an explicit
 // limit=0 page — a count-only poll that transfers no entries.
 func (c *Client) LedgerTotal(ctx context.Context) (int, error) {
@@ -132,26 +297,60 @@ func (c *Client) LedgerTotal(ctx context.Context) (int, error) {
 	return page.Total, nil
 }
 
+// Checkpoints fetches the checkpoint summary: how many are sealed,
+// and the latest head.
+func (c *Client) Checkpoints(ctx context.Context) (*CheckpointsResponse, error) {
+	var resp CheckpointsResponse
+	if err := c.getJSON(ctx, "/api/v1/checkpoints", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// CheckpointByEpoch fetches the sealed (immutable) checkpoint for an
+// epoch.
+func (c *Client) CheckpointByEpoch(ctx context.Context, epoch uint64) (ledger.Checkpoint, error) {
+	var cp ledger.Checkpoint
+	err := c.getJSON(ctx, "/api/v1/checkpoints?epoch="+strconv.FormatUint(epoch, 10), &cp)
+	return cp, err
+}
+
+// EpochProof fetches inclusion proofs for every commitment epoch
+// published. pin selects the checkpoint to prove against (by its
+// entry count — the immutable, cacheable form); nil proves against
+// the server's latest checkpoint. The caller must re-verify each
+// proof with ledger.VerifyInclusion against a checkpoint it trusts.
+func (c *Client) EpochProof(ctx context.Context, epoch uint64, pin *ledger.Checkpoint) (*EpochProofResponse, error) {
+	path := fmt.Sprintf("/api/v1/ledger/%d/proof", epoch)
+	if pin != nil {
+		path += "?checkpoint=" + strconv.FormatUint(pin.Count, 10)
+	}
+	var resp EpochProofResponse
+	if err := c.getJSON(ctx, path, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SyncHints fetches the spot-verification planning document. from >= 0
+// restricts the hints to rounds sealing epochs strictly later.
+func (c *Client) SyncHints(ctx context.Context, from int64) (*SyncHints, error) {
+	path := "/api/v1/sync/hints"
+	if from >= 0 {
+		path += "?from=" + strconv.FormatInt(from, 10)
+	}
+	var hints SyncHints
+	if err := c.getJSON(ctx, path, &hints); err != nil {
+		return nil, err
+	}
+	return &hints, nil
+}
+
 // AggregationReceipt fetches round n's receipt: a *zkvm.Receipt for
 // single-segment rounds, a *zkvm.CompositeReceipt for continuation
 // rounds — dispatched on the receipt magic.
 func (c *Client) AggregationReceipt(ctx context.Context, n int) (zkvm.AnyReceipt, error) {
-	ctx, cancel := c.requestCtx(ctx)
-	defer cancel()
-	path := fmt.Sprintf("/api/v1/receipts/agg/%d", n)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(path, resp)
-	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	data, err := c.get(ctx, fmt.Sprintf("/api/v1/receipts/agg/%d", n))
 	if err != nil {
 		return nil, err
 	}
@@ -177,11 +376,18 @@ func (c *Client) Query(ctx context.Context, sql string) (*QueryResponse, *zkvm.R
 		return nil, nil, err
 	}
 	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxReceiptBytes))
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	c.bytesRead += uint64(len(raw))
+	c.mu.Unlock()
 	if resp.StatusCode != http.StatusOK {
-		return nil, nil, apiError("/api/v1/query", resp)
+		return nil, nil, apiError("/api/v1/query", resp, raw)
 	}
 	var qres QueryResponse
-	if err := json.NewDecoder(resp.Body).Decode(&qres); err != nil {
+	if err := json.Unmarshal(raw, &qres); err != nil {
 		return nil, nil, err
 	}
 	bin, err := base64.StdEncoding.DecodeString(qres.Receipt)

@@ -22,6 +22,7 @@ package ingest
 import (
 	"encoding/binary"
 	"fmt"
+	"log"
 	"net"
 	"sort"
 	"sync"
@@ -406,6 +407,14 @@ func (p *Pipeline) sealLocked() Seal {
 	}
 	p.epoch++
 	p.epochsSealed.Inc()
+	if info.Records > 0 {
+		// Commitments for this epoch are all published: seal the
+		// ledger checkpoint light clients sync to. Empty epochs leave
+		// no checkpoint — there is nothing new to prove.
+		if _, err := p.lg.SealEpoch(info.Epoch); err != nil {
+			log.Printf("ingest: sealing checkpoint for epoch %d: %v", info.Epoch, err)
+		}
+	}
 	if p.cfg.OnSeal != nil && (info.Records > 0 || info.Dropped > 0) {
 		p.cfg.OnSeal(info)
 	}

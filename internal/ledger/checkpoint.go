@@ -1,0 +1,363 @@
+// Checkpointed ledger heads and inclusion proofs: the proof-sync
+// surface light clients pin and verify forward from.
+//
+// A Checkpoint is a bounded-size summary of a chain prefix sealed at
+// an epoch boundary: the entry count, the hash-chain head, a Merkle
+// root over the canonical entry encodings, and the O(log n) Merkle
+// frontier of that root. The frontier is what makes checkpoints
+// *advanceable* without trusting the operator: a client holding
+// checkpoint A can append the (link-verified) entries published since
+// A and recompute — not merely accept — the root and frontier of any
+// later checkpoint B. Inclusion proofs then authenticate any single
+// entry against a checkpoint the client already trusts, in
+// O(log n) hashes instead of a prefix re-download.
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"zkflow/internal/merkle"
+)
+
+// Checkpoint errors.
+var (
+	// ErrNoCheckpoint reports a lookup for an epoch no checkpoint
+	// covers, or an empty checkpoint list.
+	ErrNoCheckpoint = errors.New("ledger: no such checkpoint")
+	// ErrCheckpointOrder reports a SealEpoch that does not advance the
+	// last sealed epoch.
+	ErrCheckpointOrder = errors.New("ledger: checkpoint epochs must advance")
+	// ErrBadCheckpoint reports a structurally invalid checkpoint
+	// (frontier inconsistent with count or root).
+	ErrBadCheckpoint = errors.New("ledger: malformed checkpoint")
+	// ErrStaleCheckpoint reports an inclusion proof for an entry the
+	// checkpoint does not cover (entry index >= checkpoint count).
+	ErrStaleCheckpoint = errors.New("ledger: entry not covered by checkpoint")
+	// ErrBadExtension reports a chain extension that does not connect
+	// two checkpoints: discontiguous indices, broken links, or a
+	// root/frontier that the appended entries do not reproduce.
+	ErrBadExtension = errors.New("ledger: checkpoint extension invalid")
+	// ErrProofInvalid reports an inclusion proof that does not verify.
+	ErrProofInvalid = errors.New("ledger: inclusion proof invalid")
+)
+
+// Checkpoint is a sealed, fixed-bound summary of the first Count
+// ledger entries, taken when epoch Epoch finished publishing. Head is
+// the hash-chain link of entry Count-1 (the genesis link for an empty
+// prefix); Root is the Merkle root over EntryHash of entries [0,
+// Count); Frontier is the right-edge node set of that tree (at most
+// one hash per level), from which Root is recomputable and onto which
+// later entries can be appended.
+type Checkpoint struct {
+	Epoch    uint64        `json:"epoch"`
+	Count    uint64        `json:"count"`
+	Head     merkle.Hash   `json:"head"`
+	Root     merkle.Hash   `json:"root"`
+	Frontier []merkle.Hash `json:"frontier"`
+}
+
+// checkpointDomain separates checkpoint digests from every other hash
+// in the system.
+var checkpointDomain = []byte("zkflow/ledger/checkpoint/v1")
+
+// Digest binds every checkpoint field into one hash — the value a
+// light client pins out of band.
+func (c Checkpoint) Digest() merkle.Hash {
+	h := sha256.New()
+	h.Write(checkpointDomain)
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], c.Epoch)
+	binary.LittleEndian.PutUint64(buf[8:], c.Count)
+	h.Write(buf[:])
+	h.Write(c.Head[:])
+	h.Write(c.Root[:])
+	for i := range c.Frontier {
+		h.Write(c.Frontier[i][:])
+	}
+	var out merkle.Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// Validate checks the checkpoint's internal consistency: the frontier
+// has exactly one slot per significant bit of Count and folds to Root.
+// It does NOT establish trust — only that the fields cohere.
+func (c Checkpoint) Validate() error {
+	if len(c.Frontier) != bits.Len64(c.Count) {
+		return fmt.Errorf("%w: frontier has %d slots for count %d", ErrBadCheckpoint, len(c.Frontier), c.Count)
+	}
+	f := Frontier{count: c.Count, branch: c.Frontier}
+	if f.Root() != c.Root {
+		return fmt.Errorf("%w: frontier does not reproduce root", ErrBadCheckpoint)
+	}
+	return nil
+}
+
+// frontier returns the checkpoint's frontier as an appendable value
+// (copying the branch so the checkpoint stays immutable).
+func (c Checkpoint) frontier() Frontier {
+	branch := make([]merkle.Hash, len(c.Frontier))
+	copy(branch, c.Frontier)
+	return Frontier{count: c.Count, branch: branch}
+}
+
+// entryDomain separates ledger-entry leaf encodings from other leaves.
+var entryDomain = []byte("zkflow/ledger/entry/v1")
+
+// EntryHash is the canonical Merkle leaf hash of a ledger entry: a
+// domain-separated leaf over every field, including the chain link,
+// so an inclusion proof binds the entry to both commitments (tree and
+// chain) at once.
+func EntryHash(c Commitment) merkle.Hash {
+	var buf [len("zkflow/ledger/entry/v1") + 20 + 64]byte
+	n := copy(buf[:], entryDomain)
+	binary.LittleEndian.PutUint64(buf[n:], c.Index)
+	binary.LittleEndian.PutUint32(buf[n+8:], c.Router)
+	binary.LittleEndian.PutUint64(buf[n+12:], c.Epoch)
+	n += 20
+	n += copy(buf[n:], c.Hash[:])
+	n += copy(buf[n:], c.Link[:])
+	return merkle.LeafHash(buf[:n])
+}
+
+// Frontier is an incremental Merkle accumulator over entry leaf
+// hashes: branch[l] holds, whenever bit l of count is set, the root
+// of the completed 2^l-leaf subtree at that position of the left-to-
+// right decomposition. Appending is O(log n) amortised and Root()
+// reproduces merkle.BuildHashes over the same leaves exactly
+// (including the empty-leaf padding), which TestFrontierMatchesTree
+// pins for every count.
+type Frontier struct {
+	count  uint64
+	branch []merkle.Hash
+}
+
+// NewFrontier reconstructs a frontier from a checkpoint's fields.
+func NewFrontier(count uint64, branch []merkle.Hash) (Frontier, error) {
+	if len(branch) != bits.Len64(count) {
+		return Frontier{}, fmt.Errorf("%w: %d slots for count %d", ErrBadCheckpoint, len(branch), count)
+	}
+	b := make([]merkle.Hash, len(branch))
+	copy(b, branch)
+	return Frontier{count: count, branch: b}, nil
+}
+
+// Count returns the number of appended leaves.
+func (f *Frontier) Count() uint64 { return f.count }
+
+// Append absorbs the next leaf hash.
+func (f *Frontier) Append(leaf merkle.Hash) {
+	h := leaf
+	c := f.count
+	l := 0
+	for ; c&1 == 1; l++ {
+		h = merkle.NodeHash(f.branch[l], h)
+		c >>= 1
+	}
+	if l < len(f.branch) {
+		f.branch[l] = h
+	} else {
+		f.branch = append(f.branch, h)
+	}
+	f.count++
+}
+
+// Branch returns the frontier's node slots with stale (unset-bit)
+// slots zeroed, so two frontiers over the same leaves are
+// byte-identical regardless of append history.
+func (f *Frontier) Branch() []merkle.Hash {
+	out := make([]merkle.Hash, bits.Len64(f.count))
+	for l := range out {
+		if f.count>>uint(l)&1 == 1 {
+			out[l] = f.branch[l]
+		}
+	}
+	return out
+}
+
+// Root folds the frontier into the root of the padded Merkle tree
+// over the appended leaves — identical to merkle.BuildHashes of the
+// same leaf hashes.
+func (f *Frontier) Root() merkle.Hash {
+	if f.count == 0 {
+		// merkle.BuildHashes(nil) is a one-leaf tree over the empty
+		// leaf hash.
+		return merkle.PaddingHash(0)
+	}
+	depth := 0
+	for uint64(1)<<depth < f.count {
+		depth++
+	}
+	if f.count == uint64(1)<<depth {
+		return f.branch[depth]
+	}
+	// Walk the boundary path (the node containing the first padding
+	// leaf) from the leaves up: a set bit contributes a completed
+	// subtree on the left, a clear bit pads on the right.
+	h := merkle.PaddingHash(0)
+	for l := 0; l < depth; l++ {
+		if f.count>>uint(l)&1 == 1 {
+			h = merkle.NodeHash(f.branch[l], h)
+		} else {
+			h = merkle.NodeHash(h, merkle.PaddingHash(l))
+		}
+	}
+	return h
+}
+
+// SealEpoch records a checkpoint covering every entry published so
+// far, attributed to epoch. Epochs must advance strictly; the
+// operator calls this once per epoch after all of the epoch's
+// commitments are published (router.Sim and ingest.Pipeline both do).
+func (l *Ledger) SealEpoch(epoch uint64) (Checkpoint, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n := len(l.checkpoints); n > 0 && epoch <= l.checkpoints[n-1].Epoch {
+		return Checkpoint{}, fmt.Errorf("%w: epoch %d after %d", ErrCheckpointOrder, epoch, l.checkpoints[n-1].Epoch)
+	}
+	head := genesis
+	if n := len(l.entries); n > 0 {
+		head = l.entries[n-1].Link
+	}
+	cp := Checkpoint{
+		Epoch:    epoch,
+		Count:    l.frontier.Count(),
+		Head:     head,
+		Root:     l.frontier.Root(),
+		Frontier: l.frontier.Branch(),
+	}
+	l.checkpoints = append(l.checkpoints, cp)
+	return cp, nil
+}
+
+// Checkpoints returns a copy of every sealed checkpoint in order.
+func (l *Ledger) Checkpoints() []Checkpoint {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Checkpoint, len(l.checkpoints))
+	copy(out, l.checkpoints)
+	return out
+}
+
+// LatestCheckpoint returns the most recent checkpoint.
+func (l *Ledger) LatestCheckpoint() (Checkpoint, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.checkpoints) == 0 {
+		return Checkpoint{}, ErrNoCheckpoint
+	}
+	return l.checkpoints[len(l.checkpoints)-1], nil
+}
+
+// CheckpointByEpoch returns the checkpoint sealed for the given epoch.
+func (l *Ledger) CheckpointByEpoch(epoch uint64) (Checkpoint, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for i := len(l.checkpoints) - 1; i >= 0; i-- {
+		if l.checkpoints[i].Epoch == epoch {
+			return l.checkpoints[i], nil
+		}
+	}
+	return Checkpoint{}, fmt.Errorf("%w: epoch %d", ErrNoCheckpoint, epoch)
+}
+
+// CheckpointByCount returns the checkpoint covering exactly count
+// entries — how a server resolves a client-pinned checkpoint.
+func (l *Ledger) CheckpointByCount(count uint64) (Checkpoint, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for i := len(l.checkpoints) - 1; i >= 0; i-- {
+		if l.checkpoints[i].Count == count {
+			return l.checkpoints[i], nil
+		}
+	}
+	return Checkpoint{}, fmt.Errorf("%w: count %d", ErrNoCheckpoint, count)
+}
+
+// ProveInclusion returns a Merkle inclusion proof for entry index
+// against checkpoint cp. The most recently proved-against prefix tree
+// is cached, so serving many proofs against the same (usually latest)
+// checkpoint rebuilds nothing.
+func (l *Ledger) ProveInclusion(index uint64, cp Checkpoint) (merkle.Proof, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if index >= cp.Count {
+		return merkle.Proof{}, fmt.Errorf("%w: entry %d, checkpoint count %d", ErrStaleCheckpoint, index, cp.Count)
+	}
+	if cp.Count > uint64(len(l.entries)) {
+		return merkle.Proof{}, fmt.Errorf("%w: count %d beyond ledger length %d", ErrNoCheckpoint, cp.Count, len(l.entries))
+	}
+	if l.proofTree == nil || l.proofTreeCount != cp.Count {
+		l.proofTree = merkle.BuildHashes(l.leafHashes[:cp.Count])
+		l.proofTreeCount = cp.Count
+	}
+	if l.proofTree.Root() != cp.Root {
+		// The checkpoint did not come from this ledger's history.
+		return merkle.Proof{}, fmt.Errorf("%w: root mismatch at count %d", ErrBadCheckpoint, cp.Count)
+	}
+	return l.proofTree.Prove(int(index))
+}
+
+// VerifyInclusion checks, client-side, that entry c is committed at
+// its index under checkpoint cp. A proof for the wrong index, a
+// tampered entry, or a checkpoint that does not cover the entry all
+// fail.
+func VerifyInclusion(cp Checkpoint, c Commitment, p merkle.Proof) error {
+	if c.Index >= cp.Count {
+		return fmt.Errorf("%w: entry %d, checkpoint count %d", ErrStaleCheckpoint, c.Index, cp.Count)
+	}
+	if uint64(p.Index) != c.Index {
+		return fmt.Errorf("%w: proof for index %d, entry claims %d", ErrProofInvalid, p.Index, c.Index)
+	}
+	if !merkle.Verify(cp.Root, EntryHash(c), p) {
+		return fmt.Errorf("%w: entry %d under checkpoint root", ErrProofInvalid, c.Index)
+	}
+	return nil
+}
+
+// VerifyExtension checks, client-side, that `entries` are exactly the
+// ledger entries published between checkpoints from and to: indices
+// continue from.Count contiguously, every chain link re-derives
+// (connecting from.Head to to.Head), and appending the entries to
+// from's frontier reproduces to's root and frontier. On success the
+// caller may trust `to` (and the entries) as firmly as it trusted
+// `from`. from.Count == to.Count with equal digests verifies a
+// no-op refresh.
+func VerifyExtension(from Checkpoint, entries []Commitment, to Checkpoint) error {
+	if to.Count < from.Count {
+		return fmt.Errorf("%w: checkpoint regressed from count %d to %d", ErrBadExtension, from.Count, to.Count)
+	}
+	if to.Count != from.Count+uint64(len(entries)) {
+		return fmt.Errorf("%w: %d entries do not span counts %d..%d", ErrBadExtension, len(entries), from.Count, to.Count)
+	}
+	if to.Count > from.Count && to.Epoch <= from.Epoch {
+		return fmt.Errorf("%w: epoch did not advance (%d -> %d)", ErrBadExtension, from.Epoch, to.Epoch)
+	}
+	if err := to.Validate(); err != nil {
+		return err
+	}
+	f := from.frontier()
+	prev := from.Head
+	for i := range entries {
+		c := &entries[i]
+		if c.Index != from.Count+uint64(i) {
+			return fmt.Errorf("%w: entry %d claims index %d", ErrBadExtension, i, c.Index)
+		}
+		if want := link(prev, c.Index, c.Router, c.Epoch, c.Hash); c.Link != want {
+			return fmt.Errorf("%w: link mismatch at index %d", ErrBadExtension, c.Index)
+		}
+		prev = c.Link
+		f.Append(EntryHash(*c))
+	}
+	if prev != to.Head {
+		return fmt.Errorf("%w: head mismatch after %d entries", ErrBadExtension, len(entries))
+	}
+	if f.Root() != to.Root {
+		return fmt.Errorf("%w: recomputed root does not match checkpoint", ErrBadExtension)
+	}
+	return nil
+}

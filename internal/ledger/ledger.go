@@ -64,6 +64,15 @@ type Ledger struct {
 	mu      sync.RWMutex
 	entries []Commitment
 	index   map[[12]byte]int // (router, epoch) -> entry index
+
+	// Checkpoint state (see checkpoint.go): the per-entry Merkle leaf
+	// hashes, the incremental frontier over them, sealed checkpoints,
+	// and the cached prefix tree the inclusion-proof path serves from.
+	leafHashes     []merkle.Hash
+	frontier       Frontier
+	checkpoints    []Checkpoint
+	proofTree      *merkle.Tree
+	proofTreeCount uint64
 }
 
 // New returns an empty ledger.
@@ -100,6 +109,8 @@ func (l *Ledger) Publish(router uint32, epoch uint64, hash merkle.Hash) (Commitm
 	}
 	l.index[k] = len(l.entries)
 	l.entries = append(l.entries, c)
+	l.leafHashes = append(l.leafHashes, EntryHash(c))
+	l.frontier.Append(l.leafHashes[len(l.leafHashes)-1])
 	return c, nil
 }
 

@@ -1,0 +1,311 @@
+package lightsync
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"zkflow/internal/api"
+	"zkflow/internal/core"
+	"zkflow/internal/ledger"
+	"zkflow/internal/obs"
+	"zkflow/internal/router"
+	"zkflow/internal/store"
+	"zkflow/internal/trafficgen"
+)
+
+// operator is a full in-process operator the light client syncs from.
+type operator struct {
+	ts     *httptest.Server
+	sim    *router.Sim
+	prover *core.Prover
+	srv    *api.Server
+	lg     *ledger.Ledger
+	epochs uint64
+}
+
+func newOperator(t *testing.T) *operator {
+	t.Helper()
+	st := store.Open(0)
+	lg := ledger.New()
+	sim := router.NewSim(trafficgen.Config{Seed: 7, NumFlows: 32, Routers: 2}, st, lg)
+	prover := core.NewProver(st, lg, core.Options{Checks: 6})
+	srv := api.NewServer(prover, lg)
+	op := &operator{sim: sim, prover: prover, srv: srv, lg: lg}
+	op.ts = httptest.NewServer(srv.Handler())
+	t.Cleanup(op.ts.Close)
+	return op
+}
+
+// advance runs n epochs end to end: collect, publish, checkpoint,
+// aggregate, serve.
+func (op *operator) advance(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		e := op.epochs
+		if _, err := op.sim.RunEpoch(context.Background(), e, 8); err != nil {
+			t.Fatal(err)
+		}
+		res, err := op.prover.AggregateEpoch(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := op.srv.AddAggregation(e, res.Receipt); err != nil {
+			t.Fatal(err)
+		}
+		op.epochs++
+	}
+}
+
+func (op *operator) client() *api.Client {
+	return api.New(op.ts.URL, api.WithHTTPClient(op.ts.Client()), api.WithCache())
+}
+
+func (op *operator) pinAt(t *testing.T, epoch uint64) *State {
+	t.Helper()
+	cp, err := op.lg.CheckpointByEpoch(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Pin(op.ts.URL, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestSyncAdvancesPin(t *testing.T) {
+	op := newOperator(t)
+	op.advance(t, 4)
+	st := op.pinAt(t, 0)
+	reg := obs.NewRegistry()
+
+	rep, err := Sync(context.Background(), op.client(), st, Options{Samples: 2, Seed: 42, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checkpoint.Epoch != 3 || st.Checkpoint.Count != 8 {
+		t.Fatalf("pin not advanced: %+v", st.Checkpoint)
+	}
+	if rep.NewEntries != 6 || len(rep.NewEpochs) != 3 {
+		t.Fatalf("delta: %+v", rep)
+	}
+	if len(rep.SampledRounds) != 2 {
+		t.Fatalf("sampled %v", rep.SampledRounds)
+	}
+	if rep.ProofsChecked == 0 {
+		t.Fatal("no inclusion proofs checked")
+	}
+	if rep.Bytes == 0 {
+		t.Fatal("byte accounting did not move")
+	}
+	if err := st.Check(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["lightsync.receipts_verified"] != 2 || snap.Counters["lightsync.epochs_synced"] != 3 {
+		t.Fatalf("counters: %+v", snap.Counters)
+	}
+
+	// A second sync is a no-op that leaves the pin intact.
+	rep, err = Sync(context.Background(), op.client(), st, Options{Samples: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.UpToDate {
+		t.Fatalf("expected up-to-date, got %+v", rep)
+	}
+}
+
+func TestSyncIncremental(t *testing.T) {
+	op := newOperator(t)
+	op.advance(t, 2)
+	st := op.pinAt(t, 1)
+	c := op.client()
+	if _, err := Sync(context.Background(), c, st, Options{Samples: 1, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// More epochs appear; the same state syncs forward again.
+	op.advance(t, 2)
+	rep, err := Sync(context.Background(), c, st, Options{Samples: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checkpoint.Epoch != 3 || rep.NewEntries != 4 {
+		t.Fatalf("second sync: pin %+v rep %+v", st.Checkpoint, rep)
+	}
+}
+
+// TestSyncRejectsTamperedEntry covers both halves of the trust model.
+// Rewriting an entry the pin covers breaks the link chain to the new
+// head, so the extension proof fails outright. Rewriting an entry in
+// the new suffix can be made chain-consistent (the operator recomputes
+// the links), so it is the sampled receipt — whose journal binds the
+// true commitments — that catches it. Either way the pin must not move.
+func TestSyncRejectsTamperedEntry(t *testing.T) {
+	op := newOperator(t)
+	op.advance(t, 3)
+
+	serve := func(entries []ledger.Commitment) *api.Client {
+		t.Helper()
+		tampered := api.NewServer(op.prover, mustLedgerFrom(t, entries))
+		// The operator still serves its honest receipts — those are
+		// what bind it to the true commitments.
+		for _, res := range op.prover.History() {
+			if err := tampered.AddAggregation(res.Epoch, res.Receipt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ts := httptest.NewServer(tampered.Handler())
+		t.Cleanup(ts.Close)
+		return api.New(ts.URL, api.WithHTTPClient(ts.Client()))
+	}
+
+	// (a) Tampered pinned-prefix entry: entry 1 is covered by the
+	// epoch-0 pin, so the rebuilt chain no longer extends its head.
+	st := op.pinAt(t, 0)
+	before := st.Checkpoint.Digest()
+	entries := op.lg.Entries()
+	entries[1].Hash[0] ^= 1
+	if _, err := Sync(context.Background(), serve(entries), st, Options{Samples: -1}); err == nil {
+		t.Fatal("tampered prefix accepted")
+	}
+	if st.Checkpoint.Digest() != before {
+		t.Fatal("pin moved despite failed sync")
+	}
+
+	// (b) Tampered suffix entry with recomputed (self-consistent)
+	// links: only receipt sampling can catch it — and it must.
+	st = op.pinAt(t, 0)
+	entries = op.lg.Entries()
+	entries[3].Hash[0] ^= 1 // epoch 1, router 1
+	_, err := Sync(context.Background(), serve(entries), st, Options{Samples: 2, Seed: 5})
+	if !errors.Is(err, ErrReceipt) {
+		t.Fatalf("tampered suffix: got %v", err)
+	}
+	if st.Checkpoint.Digest() != before {
+		t.Fatal("pin moved despite failed sync")
+	}
+}
+
+// mustLedgerFrom force-builds a ledger with the given (possibly
+// doctored) entries without chain verification — it impersonates a
+// malicious operator, so it must not go through FromEntries.
+func mustLedgerFrom(t *testing.T, entries []ledger.Commitment) *ledger.Ledger {
+	t.Helper()
+	l := ledger.New()
+	for _, c := range entries {
+		if _, err := l.Publish(c.Router, c.Epoch, c.Hash); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.SealEpoch(entries[len(entries)-1].Epoch); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestSyncRejectsRegression: an operator serving a shorter history
+// than the pin is refused.
+func TestSyncRejectsRegression(t *testing.T) {
+	op := newOperator(t)
+	op.advance(t, 4)
+	st := op.pinAt(t, 3)
+
+	// A second operator stuck at epoch 1 (shorter chain).
+	op2 := newOperator(t)
+	op2.advance(t, 2)
+	_, err := Sync(context.Background(), op2.client(), st, Options{Samples: -1})
+	if !errors.Is(err, ErrRegression) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestSyncRejectsForgedCheckpoint: a state whose checkpoint was
+// hand-edited fails its own digest check before any network I/O.
+func TestSyncRejectsForgedCheckpoint(t *testing.T) {
+	op := newOperator(t)
+	op.advance(t, 2)
+	st := op.pinAt(t, 0)
+	st.Checkpoint.Root[0] ^= 1
+	if _, err := Sync(context.Background(), op.client(), st, Options{}); err == nil {
+		t.Fatal("forged state accepted")
+	}
+	// And a divergent-history operator (different traffic, same shape)
+	// cannot extend an honest pin.
+	st2 := op.pinAt(t, 0)
+	other := newOperatorSeed(t, 99)
+	other.advance(t, 3)
+	if _, err := Sync(context.Background(), other.client(), st2, Options{Samples: -1}); err == nil {
+		t.Fatal("divergent history accepted")
+	}
+}
+
+func newOperatorSeed(t *testing.T, seed int64) *operator {
+	t.Helper()
+	st := store.Open(0)
+	lg := ledger.New()
+	sim := router.NewSim(trafficgen.Config{Seed: seed, NumFlows: 32, Routers: 2}, st, lg)
+	prover := core.NewProver(st, lg, core.Options{Checks: 6})
+	srv := api.NewServer(prover, lg)
+	op := &operator{sim: sim, prover: prover, srv: srv, lg: lg}
+	op.ts = httptest.NewServer(srv.Handler())
+	t.Cleanup(op.ts.Close)
+	return op
+}
+
+// TestSyncRejectsTamperedReceipt: receipts corrupted in flight (a
+// tampering middlebox, or an operator swapping artifacts) fail the
+// sampled verification.
+func TestSyncRejectsTamperedReceipt(t *testing.T) {
+	op := newOperator(t)
+	op.advance(t, 3)
+	st := op.pinAt(t, 0)
+
+	inner := op.srv.Handler()
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/api/v1/receipts/agg/") {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		rec := httptest.NewRecorder()
+		inner.ServeHTTP(rec, r)
+		body := rec.Body.Bytes()
+		if len(body) > 200 {
+			body[200] ^= 0xff
+		}
+		w.WriteHeader(rec.Code)
+		w.Write(body)
+	}))
+	defer proxy.Close()
+
+	// Sample every round past the pin so a corrupted receipt is hit.
+	_, err := Sync(context.Background(), api.New(proxy.URL, api.WithHTTPClient(proxy.Client())), st, Options{Samples: 2, Seed: 5})
+	if !errors.Is(err, ErrReceipt) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestSyncCacheRevalidation: re-running a sync with a warm client
+// cache turns immutable fetches into 304s.
+func TestSyncCacheRevalidation(t *testing.T) {
+	op := newOperator(t)
+	op.advance(t, 3)
+	c := op.client()
+	st := op.pinAt(t, 0)
+	if _, err := Sync(context.Background(), c, st, Options{Samples: 1, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-sync from the same original pin with the same warm client.
+	st2 := op.pinAt(t, 0)
+	rep, err := Sync(context.Background(), c, st2, Options{Samples: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheHits == 0 {
+		t.Fatal("no cache revalidations on a warm re-sync")
+	}
+}

@@ -78,6 +78,11 @@ func (s *Sim) RunEpoch(ctx context.Context, epoch uint64, recordsPerRouter int) 
 			return nil, err
 		}
 	}
+	// All routers published: seal the epoch's ledger checkpoint so
+	// light clients have a head to sync to (see ledger/checkpoint.go).
+	if _, err := s.Ledger.SealEpoch(epoch); err != nil {
+		return nil, fmt.Errorf("sealing epoch %d: %w", epoch, err)
+	}
 	return batches, nil
 }
 
