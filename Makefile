@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race fuzz check bench bench-parallel bench-commit verify
+.PHONY: build vet test race fuzz farm check bench bench-parallel bench-commit verify
 
 build:
 	$(GO) build ./...
@@ -22,18 +22,26 @@ race:
 
 # Fuzz lane: each network/storage-facing decoder gets a short
 # randomized run on top of its committed seed + regression corpus.
-# `go test -fuzz` takes one target per invocation, so this is five
+# `go test -fuzz` takes one target per invocation, so this is seven
 # runs; budget with FUZZTIME (default 10s each).
 fuzz:
 	$(GO) test ./internal/netflow -run='^$$' -fuzz=FuzzWireCodecs -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/remote -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/remote -run='^$$' -fuzz=FuzzFarmFrames -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/remote -run='^$$' -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/zkvm -run='^$$' -fuzz=FuzzDecodeProgram -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/zkvm -run='^$$' -fuzz=FuzzUnmarshalReceipt -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/ingest -run='^$$' -fuzz=FuzzDatagram -fuzztime=$(FUZZTIME)
 
+# Farm lane: the prover-farm fault-injection suite, run twice — the
+# failover paths (requeue, steal, duplicate suppression) are timing
+# sensitive by nature, so one green run is not evidence enough.
+farm:
+	$(GO) test ./internal/remote -run='TestFarmFault' -count=2
+
 # The default pre-merge gate. The fuzz lane runs last so the cheap
 # deterministic checks fail fast.
-check: build vet test race fuzz
+check: build vet test race farm fuzz
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -46,13 +54,14 @@ bench-parallel:
 # hash kernel, the Merkle arena build, and the fused prover pipeline.
 # Compare against the allocs/op recorded in EXPERIMENTS.md E14.
 # Finishes by regenerating the committed benchmark baseline
-# (BENCH_PR7.json: E1 sweep + stage split + E15 continuation sweep +
-# E16 ingest throughput sweep + E17 light-client sync); gate a branch
-# against it with `zkflow-benchdiff BENCH_PR7.json fresh.json`.
+# (BENCH_PR8.json: E1 sweep + stage split + E15 continuation sweep +
+# E16 ingest throughput sweep + E17 light-client sync + E18 prover
+# farm); gate a branch against it with
+# `zkflow-benchdiff BENCH_PR8.json fresh.json`.
 bench-commit:
 	$(GO) test -bench='HashLevel|Leaf2' -benchmem -run=^$$ ./internal/hashk
 	$(GO) test -bench='BuildHashes|Build1024' -benchmem -run=^$$ ./internal/merkle
 	$(GO) test -bench='ProveParallel/parallelism=1' -benchmem -run=^$$ .
-	$(GO) run ./cmd/zkflow-bench -json BENCH_PR7.json
+	$(GO) run ./cmd/zkflow-bench -json BENCH_PR8.json
 
 verify: build vet test race

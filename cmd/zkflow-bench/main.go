@@ -9,6 +9,7 @@
 //	-exp specialized  §7 specialized prover vs. zkVM hash throughput
 //	-exp ingest       E16: sustained UDP/inject collector throughput (flows/sec)
 //	-exp lightsync    E17: light-client proof sync vs full audit (bytes + ms)
+//	-exp farm         E18: distributed prover farm speedup + failover recovery
 //	-exp all          everything above
 //
 // Absolute numbers differ from the paper's Threadripper + RISC Zero
@@ -174,6 +175,7 @@ type BenchReport struct {
 	Continuations []ContRow      `json:"continuations,omitempty"`
 	Ingest        []IngestRow    `json:"ingest,omitempty"`
 	LightSync     []LightSyncRow `json:"lightsync,omitempty"`
+	Farm          []FarmRow      `json:"farm,omitempty"`
 }
 
 // numSegments reports the continuation segment count of a receipt (1
@@ -850,11 +852,12 @@ func kb(n int) float64           { return float64(n) / 1024 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|stages|continuations|ingest|lightsync|all")
+		exp      = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|stages|continuations|ingest|lightsync|farm|all")
 		checks   = flag.Int("checks", zkvm.DefaultChecks, "zkVM sampled checks per proof")
 		segCyc   = flag.Int("segment-cycles", 0, "prove sweep aggregations as continuation chains sliced every N cycles (0 = single-segment)")
 		csv      = flag.String("csv", "", "write the Figure 4 series as CSV to this path")
 		stages   = flag.Bool("stages", false, "shorthand for -exp stages: print the per-stage prover breakdown")
+		farmRecs = flag.Int("farm-records", 100000, "E18 farm epoch size in records (the calibration prove is real; scale down for quick runs)")
 		jsonPath = flag.String("json", "", "run the E1 sweep + stage split + E15 continuation sweep and write them as JSON to this path (see BENCH_PR5.json; compare runs with zkflow-benchdiff)")
 	)
 	flag.Parse()
@@ -872,6 +875,7 @@ func main() {
 		report.Continuations = expContinuations(*checks)
 		report.Ingest = expIngest()
 		report.LightSync = expLightSync(*checks)
+		report.Farm = expFarm(*checks, *farmRecs)
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			log.Fatalf("json: %v", err)
@@ -909,6 +913,8 @@ func main() {
 		expIngest()
 	case "lightsync":
 		expLightSync(*checks)
+	case "farm":
+		expFarm(*checks, *farmRecs)
 	case "all":
 		expFig4(*checks, *segCyc, *csv)
 		expTable1(*checks)
@@ -921,6 +927,7 @@ func main() {
 		expContinuations(*checks)
 		expIngest()
 		expLightSync(*checks)
+		expFarm(*checks, *farmRecs)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

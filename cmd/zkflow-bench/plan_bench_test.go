@@ -1,0 +1,32 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"zkflow/internal/guest"
+	"zkflow/internal/zkvm"
+)
+
+// BenchmarkPlanSegments measures the coordinator's per-epoch planning
+// cost on the aggregation guest — the serial fraction every farmed
+// prove pays before any segment can be dispatched (E18). PlanSegments
+// runs on the count-only emulator, so this should track raw execution
+// speed, not traced-execution speed; a regression here eats directly
+// into farm speedup.
+func BenchmarkPlanSegments(b *testing.B) {
+	for _, records := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			in := genesisInput(1, records)
+			prog := guest.AggregationProgram()
+			opts := zkvm.ProveOptions{Checks: 48, SegmentCycles: farmSegCycles, Parallelism: 1}
+			words := in.Words()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := zkvm.PlanSegments(prog, words, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

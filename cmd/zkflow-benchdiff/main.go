@@ -23,6 +23,14 @@
 // outright — and on light_sync_ms like the other verify times.
 // full_audit_ms is the comparison baseline and stays informational.
 //
+// Farm rows (E18) gate on farm_speedup_x for multi-worker rows —
+// lower is a regression, and any row under 70% of ideal fails
+// outright — and on farm_failover_recovery_ms (higher is a
+// regression, with an absolute noise floor sized to the heartbeat
+// interval). A farm row that is not byte-identical to the
+// single-prover receipt fails unconditionally: that is a correctness
+// bug wearing a benchmark's clothes.
+//
 // Stdlib only: this is meant to run in the same bare container as the
 // benchmarks themselves.
 package main
@@ -69,6 +77,18 @@ type lightSyncRow struct {
 	FullAuditMs   float64 `json:"full_audit_ms"`
 }
 
+type farmRow struct {
+	Workers            int     `json:"workers"`
+	Failover           bool    `json:"failover"`
+	Records            int     `json:"records"`
+	Segments           int     `json:"segments"`
+	ProveMs            float64 `json:"prove_ms"`
+	SpeedupX           float64 `json:"farm_speedup_x"`
+	IdealPct           float64 `json:"farm_ideal_pct"`
+	FailoverRecoveryMs float64 `json:"farm_failover_recovery_ms"`
+	ByteIdentical      bool    `json:"byte_identical"`
+}
+
 type benchReport struct {
 	CPUs      int            `json:"cpus"`
 	Checks    int            `json:"checks"`
@@ -76,6 +96,7 @@ type benchReport struct {
 	Stages    stageSplit     `json:"stages"`
 	Ingest    []ingestRow    `json:"ingest"`
 	LightSync []lightSyncRow `json:"lightsync"`
+	Farm      []farmRow      `json:"farm"`
 }
 
 func load(path string) (*benchReport, error) {
@@ -245,6 +266,56 @@ func main() {
 			md := gateVerify(fmt.Sprintf("lightsync[%d].sync_ms", n.Epochs), o.LightSyncMs, n.LightSyncMs)
 			fmt.Printf("%8d  %7.2f%% -> %6.2f%% %s  %5.1f -> %-5.1f %s\n",
 				n.Epochs, o.LightBytesPct, n.LightBytesPct, pd, o.LightSyncMs, n.LightSyncMs, md)
+		}
+	}
+
+	if len(newR.Farm) > 0 {
+		// Farm gates. Byte identity is absolute: a farm receipt that
+		// differs from the single-prover golden is a correctness failure
+		// whatever the baseline says. Speedup gates like throughput —
+		// lower is the regression — plus the hard 70%-of-ideal floor the
+		// experiment commits to. Failover recovery gates like verify
+		// times, with an absolute floor: detection is connection-close
+		// driven, so sub-100 ms wobble in when the death is noticed is
+		// scheduler noise, not a regression.
+		const farmIdealFloorPct = 70.0
+		const farmRecoveryFloorMs = 100.0
+		oldFarm := map[string]farmRow{}
+		fkey := func(r farmRow) string {
+			return fmt.Sprintf("%dw/failover=%v", r.Workers, r.Failover)
+		}
+		for _, r := range oldR.Farm {
+			oldFarm[fkey(r)] = r
+		}
+		fmt.Printf("\n%-18s  %24s  %24s\n", "farm lane", "speedup old->new", "recovery ms old->new")
+		for _, n := range newR.Farm {
+			if !n.ByteIdentical {
+				regressions = append(regressions, fmt.Sprintf("farm[%s]: receipt NOT byte-identical to single-prover output", fkey(n)))
+			}
+			if !n.Failover && n.Workers > 1 && n.IdealPct < farmIdealFloorPct {
+				regressions = append(regressions, fmt.Sprintf("farm[%s]: %.0f%% of ideal speedup (target >= %.0f%%)",
+					fkey(n), n.IdealPct, farmIdealFloorPct))
+			}
+			o, ok := oldFarm[fkey(n)]
+			if !ok {
+				fmt.Printf("%-18s  (no baseline)\n", fkey(n))
+				continue
+			}
+			spct := 0.0
+			if o.SpeedupX > 0 {
+				spct = 100 * (n.SpeedupX - o.SpeedupX) / o.SpeedupX
+			}
+			if !n.Failover && n.Workers > 1 && -spct > *threshold {
+				regressions = append(regressions, fmt.Sprintf("farm[%s]: %.2fx -> %.2fx speedup (%+.1f%%)",
+					fkey(n), o.SpeedupX, n.SpeedupX, spct))
+			}
+			rd, bad := delta(o.FailoverRecoveryMs, n.FailoverRecoveryMs, *threshold)
+			if bad && n.FailoverRecoveryMs-o.FailoverRecoveryMs > farmRecoveryFloorMs {
+				regressions = append(regressions, fmt.Sprintf("farm[%s].recovery: %.1f ms -> %.1f ms (%s)",
+					fkey(n), o.FailoverRecoveryMs, n.FailoverRecoveryMs, rd))
+			}
+			fmt.Printf("%-18s  %7.2fx -> %-7.2fx %+5.1f%%  %6.1f -> %-6.1f %s\n",
+				fkey(n), o.SpeedupX, n.SpeedupX, spct, o.FailoverRecoveryMs, n.FailoverRecoveryMs, rd)
 		}
 	}
 

@@ -1,22 +1,74 @@
 // Command zkflow-worker is an off-path proving node (paper §7,
-// "off-path computation"): a stateless HTTP service that executes
-// guest programs over submitted inputs and returns receipts. Point
-// zkflowd at it with -worker to move all heavy cryptographic work off
-// the collection path:
+// "off-path computation"). It runs in one of two modes:
+//
+// HTTP mode (default): a stateless HTTP service that executes guest
+// programs over submitted inputs and returns receipts. Point zkflowd
+// at it with -worker to move all heavy cryptographic work off the
+// collection path:
 //
 //	zkflow-worker -listen 127.0.0.1:8481
 //	zkflowd -worker http://127.0.0.1:8481
+//
+// Farm mode (-farm-addr): a prover-farm worker that dials the zkflowd
+// coordinator, registers its capacity, and proves dispatched jobs —
+// whole aggregations or individual zkVM segments — reconnecting with
+// backoff whenever the coordinator restarts or the link drops:
+//
+//	zkflowd -farm-addr 127.0.0.1:8491 -workers 4
+//	zkflow-worker -farm-addr 127.0.0.1:8491 -capacity 2 -name rack1
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"zkflow/internal/remote"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:8481", "HTTP listen address")
+	var (
+		listen   = flag.String("listen", "127.0.0.1:8481", "HTTP listen address (HTTP mode)")
+		farmAddr = flag.String("farm-addr", "", "farm coordinator address to dial (enables farm mode)")
+		capacity = flag.Int("capacity", 1, "concurrent proving jobs offered to the coordinator (farm mode)")
+		name     = flag.String("name", "", "worker display name reported to the coordinator (farm mode)")
+	)
 	flag.Parse()
-	log.Fatal(remote.Serve(*listen))
+
+	if *farmAddr == "" {
+		log.Fatal(remote.Serve(*listen))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg := remote.WorkerConfig{Name: *name, Capacity: *capacity}
+
+	// Reconnect loop: a dead coordinator (or a network blip) is retried
+	// with capped exponential backoff; a successful session resets it.
+	backoff := time.Second
+	const maxBackoff = 30 * time.Second
+	for {
+		start := time.Now()
+		err := remote.RunWorker(ctx, *farmAddr, cfg)
+		if ctx.Err() != nil {
+			log.Printf("worker shutting down")
+			return
+		}
+		if time.Since(start) > maxBackoff {
+			backoff = time.Second // the session worked for a while; reset
+		}
+		log.Printf("farm session ended (%v); reconnecting in %v", err, backoff)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
 }

@@ -39,6 +39,8 @@ func main() {
 		flows    = flag.Int("flows", 256, "flow population size")
 		loss     = flag.Float64("loss", 0.02, "packet loss rate")
 		worker   = flag.String("worker", "", "off-path proving worker URL (empty = prove locally)")
+		farmAddr = flag.String("farm-addr", "", "prover-farm coordinator listen address (empty = no farm); workers dial in with zkflow-worker -farm-addr")
+		farmWait = flag.Int("workers", 0, "with -farm-addr: wait for this many farm workers before the first epoch")
 		pipeline = flag.Int("pipeline", 0, "pipeline depth: overlap witness generation with up to N in-flight seals (0 = serial)")
 		workers  = flag.Int("parallelism", 0, "prover worker-pool width (0 = all CPUs, 1 = serial)")
 		segCyc   = flag.Int("segment-cycles", 0, "prove aggregations as continuation chains sliced every N cycles (0 = single-segment)")
@@ -59,9 +61,25 @@ func main() {
 	// scheduler gauges, and the HTTP layer, served at /api/v1/metrics.
 	reg := obs.NewRegistry()
 	opts := core.Options{Checks: *checks, Parallelism: *workers, SegmentCycles: *segCyc, PipelineDepth: *pipeline, Metrics: reg}
-	if *worker != "" {
+	switch {
+	case *worker != "":
 		opts.Prove = remote.NewClient(*worker, nil).Prove
 		log.Printf("proving off-path via %s", *worker)
+	case *farmAddr != "":
+		coord := remote.NewCoordinator(remote.FarmConfig{Metrics: reg})
+		if err := coord.Start(*farmAddr); err != nil {
+			log.Fatalf("farm coordinator: %v", err)
+		}
+		defer coord.Close()
+		opts.Farm = coord
+		log.Printf("farm coordinator listening on %s", coord.Addr())
+		if *farmWait > 0 {
+			log.Printf("waiting for %d farm workers", *farmWait)
+			if err := coord.WaitForWorkers(context.Background(), *farmWait); err != nil {
+				log.Fatalf("waiting for farm workers: %v", err)
+			}
+			log.Printf("%d farm workers registered", coord.Workers())
+		}
 	}
 	prover := core.NewProver(st, lg, opts)
 	srv := api.NewServer(prover, lg)

@@ -17,6 +17,7 @@ import (
 
 	"zkflow/internal/merkle"
 	"zkflow/internal/netflow"
+	"zkflow/internal/vmtree"
 )
 
 // Entry is one aggregated flow.
@@ -237,3 +238,31 @@ func TreeOf(entries []Entry) *merkle.Tree {
 // Root returns the Merkle root of the canonical snapshot. The root of
 // an empty CLog is the root of the empty tree.
 func (c *CLog) Root() merkle.Hash { return c.Tree().Root() }
+
+// LeafDigests hashes each entry of a sorted snapshot into its
+// guest-convention (vmtree) leaf digest — the same leaves the
+// aggregation guest commits to in its journal roots.
+func LeafDigests(entries []Entry) []vmtree.Digest {
+	out := make([]vmtree.Digest, len(entries))
+	for i := range entries {
+		w := entries[i].Words()
+		out[i] = vmtree.HashWords(w[:])
+	}
+	return out
+}
+
+// SubTreeRoots shards the canonical sorted entry list into aligned
+// power-of-two sub-trees of the guest-convention commitment and
+// returns each sub-tree's root. Shards can be hashed independently —
+// per goroutine, per router, or per farm worker — and merged back with
+// MergeSubTreeRoots; the merge equals the monolithic guest root
+// (vmtree.Root over the entry words) exactly.
+func SubTreeRoots(entries []Entry, shards int) []vmtree.Digest {
+	return vmtree.SubRoots(LeafDigests(entries), shards)
+}
+
+// MergeSubTreeRoots folds aligned sub-tree roots to the global
+// guest-convention CLog root.
+func MergeSubTreeRoots(roots []vmtree.Digest) vmtree.Digest {
+	return vmtree.MergeRoots(roots)
+}

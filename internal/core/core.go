@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -64,7 +65,13 @@ type Options struct {
 	// seal computation of epoch N. 0 or 1 means no pipelining.
 	PipelineDepth int
 	// Prove overrides the proving backend (nil = local zkvm.ProveAny).
+	// Takes precedence over Farm.
 	Prove ProveFunc
+	// Farm, when non-nil and Prove is nil, dispatches proofs to a
+	// prover-farm backend (remote.Coordinator implements it): segmented
+	// jobs fan out one segment per worker and reassemble byte-identical
+	// composites; whole jobs go to a single worker.
+	Farm Backend
 	// Metrics, when non-nil, receives the prover's observability
 	// stream: round/query counters and latencies, scheduler pipeline
 	// gauges, and the per-stage zkVM prover breakdown (see metrics.go
@@ -86,6 +93,9 @@ func (o Options) proveOptions() zkvm.ProveOptions {
 func (o Options) proveWith(prog *zkvm.Program, input []uint32, po zkvm.ProveOptions) (zkvm.AnyReceipt, error) {
 	if o.Prove != nil {
 		return o.Prove(prog, input, po)
+	}
+	if o.Farm != nil {
+		return o.Farm.ProveContext(context.Background(), prog, input, po)
 	}
 	return zkvm.ProveAny(prog, input, po)
 }
@@ -175,7 +185,7 @@ func (p *Prover) buildAggInput(epoch uint64, prevEntries []clog.Entry, prevHash 
 	}
 	agg := &guest.AggInput{
 		PrevJournalHash: prevHash,
-		PrevRoot:        vmtree.Root(guest.EntryWordsOf(prevEntries)),
+		PrevRoot:        entriesRoot(prevEntries),
 		Epoch:           uint32(epoch),
 		PrevEntries:     prevEntries,
 	}
@@ -219,7 +229,7 @@ func (p *Prover) AggregateEpoch(epoch uint64) (res *AggregationResult, err error
 	// Advance the private CLog with the reference merge and
 	// cross-check the guest agreed.
 	next := guest.ReferenceAggregate(p.entries, in.Batches...)
-	if got := vmtree.Root(guest.EntryWordsOf(next)); got != j.NewRoot {
+	if got := entriesRoot(next); got != j.NewRoot {
 		return nil, fmt.Errorf("core: internal error: guest root %v, host root %v", j.NewRoot.Bytes(), got.Bytes())
 	}
 	p.entries = next

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"zkflow/internal/clog"
+	"zkflow/internal/vmtree"
+	"zkflow/internal/zkvm"
+)
+
+// Backend is a cancellable proving backend. The farm coordinator
+// (remote.Coordinator) implements it: segmented proves fan segments
+// out across registered workers and reassemble a composite receipt
+// byte-identical to the local prover's output; whole jobs dispatch to
+// one worker. Options.Farm plugs a Backend into the Prover/Scheduler
+// beside the in-process pool.
+type Backend interface {
+	ProveContext(ctx context.Context, prog *zkvm.Program, input []uint32, opts zkvm.ProveOptions) (zkvm.AnyReceipt, error)
+}
+
+// entriesRootParallelMin is the snapshot size below which sharded
+// hashing is not worth the goroutine fan-out.
+const entriesRootParallelMin = 2048
+
+// entriesRoot computes the guest-convention CLog commitment of a
+// sorted snapshot — the same value as
+// vmtree.Root(guest.EntryWordsOf(entries)) — by hashing aligned
+// sub-trees on parallel goroutines and merging their roots
+// (clog.SubTreeRoots / MergeSubTreeRoots). This is the host-side half
+// of the farm's sharding story: per-shard sub-trees are independent,
+// so the prover's root cross-checks stop being a serial tax as CLogs
+// grow.
+func entriesRoot(entries []clog.Entry) vmtree.Digest {
+	n := len(entries)
+	shards := runtime.GOMAXPROCS(0)
+	if shards <= 1 || n < entriesRootParallelMin {
+		return clog.MergeSubTreeRoots(clog.SubTreeRoots(entries, 1))
+	}
+	digests := make([]vmtree.Digest, n)
+	chunk := (n + shards - 1) / shards
+	var wg sync.WaitGroup
+	for off := 0; off < n; off += chunk {
+		end := off + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(off, end int) {
+			defer wg.Done()
+			for i := off; i < end; i++ {
+				w := entries[i].Words()
+				digests[i] = vmtree.HashWords(w[:])
+			}
+		}(off, end)
+	}
+	wg.Wait()
+	return vmtree.MergeRoots(vmtree.SubRoots(digests, shards))
+}

@@ -197,7 +197,7 @@ func (s *Scheduler) witness(epoch uint64) (*pendingEpoch, *zkvm.Execution) {
 		return pe, nil
 	}
 	next := guest.ReferenceAggregate(s.specEntries, in.Batches...)
-	if got := vmtree.Root(guest.EntryWordsOf(next)); got != j.NewRoot {
+	if got := entriesRoot(next); got != j.NewRoot {
 		pe.err = fmt.Errorf("core: internal error: guest root %v, host root %v", j.NewRoot.Bytes(), got.Bytes())
 		return pe, nil
 	}

@@ -107,6 +107,7 @@ type Pipeline struct {
 
 	conn   net.PacketConn
 	shards []*shard
+	v9dec  *netflow.V9Decoder
 
 	mu      sync.Mutex // serialises Seal, guards epoch/started/closed
 	epoch   uint64
@@ -128,6 +129,7 @@ type Pipeline struct {
 	dropInvalid  *obs.Counter // ingest.records_dropped.invalid
 	dropLedger   *obs.Counter // ingest.records_dropped.ledger
 	epochsSealed *obs.Counter // ingest.epochs_sealed
+	v9Misses     *obs.Gauge   // ingest.v9_template_misses
 	commitSec    *obs.Histogram
 }
 
@@ -153,6 +155,7 @@ func New(st *store.Store, lg *ledger.Ledger, cfg Config) (*Pipeline, error) {
 		st:    st,
 		lg:    lg,
 		epoch: cfg.StartEpoch,
+		v9dec: netflow.NewV9Decoder(0),
 
 		datagrams:    reg.Counter("ingest.datagrams"),
 		datagramsBad: reg.Counter("ingest.datagrams_bad"),
@@ -163,6 +166,7 @@ func New(st *store.Store, lg *ledger.Ledger, cfg Config) (*Pipeline, error) {
 		dropInvalid:  reg.Counter("ingest.records_dropped.invalid"),
 		dropLedger:   reg.Counter("ingest.records_dropped.ledger"),
 		epochsSealed: reg.Counter("ingest.epochs_sealed"),
+		v9Misses:     reg.Gauge("ingest.v9_template_misses"),
 		commitSec:    reg.Histogram("ingest.commit_seconds", obs.DefaultLatencyBuckets),
 	}
 	for i := 0; i < cfg.Shards; i++ {
@@ -273,11 +277,12 @@ func (p *Pipeline) Inject(dgram []byte) {
 		now := uint32(time.Now().Unix())
 		p.dispatch(d.AgentIP, netflow.SFlowToRecords(d, d.AgentIP, now, now))
 	case len(dgram) >= 2 && binary.BigEndian.Uint16(dgram) == netflow.V9Version:
-		pkt, err := netflow.DecodeV9(dgram)
+		pkt, err := p.v9dec.Decode(dgram)
 		if err != nil {
 			p.datagramsBad.Inc()
 			return
 		}
+		p.v9Misses.Set(int64(p.v9dec.TemplateMisses()))
 		p.dispatch(pkt.SourceID, pkt.Records)
 	default:
 		p.datagramsBad.Inc()

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -484,3 +485,45 @@ func TestReplayRejectsUnknownProtocol(t *testing.T) {
 	}
 }
 
+
+// TestInjectV9TemplateAcrossPackets exercises the stateful v9 decode
+// path: a template announced in one datagram decodes data flowsets in
+// later template-less datagrams, and data arriving before any template
+// is counted as a miss rather than an error.
+func TestInjectV9TemplateAcrossPackets(t *testing.T) {
+	reg := obs.NewRegistry()
+	p, st, _ := newPipeline(t, Config{Shards: 2, Metrics: reg})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	full := v9Datagram(7, genRecords(7, 3)) // template + data in one packet
+
+	// Strip the template flowset out of a second packet: header (20
+	// bytes), template flowset, data flowset. The data-only packet must
+	// still decode once the template is cached.
+	tplLen := int(binary.BigEndian.Uint16(full[22:]))
+	dataOnly := append(append([]byte(nil), full[:20]...), full[20+tplLen:]...)
+
+	// Data before any template: skipped, not an error.
+	p.Inject(dataOnly)
+	waitFor(t, time.Second, func() bool {
+		return reg.Gauge("ingest.v9_template_misses").Value() == 1
+	})
+	if got := p.Stats().Received; got != 0 {
+		t.Fatalf("%d records decoded without a template", got)
+	}
+
+	p.Inject(full) // caches the template
+	waitFor(t, time.Second, func() bool { return p.Stats().Received == 3 })
+	p.Inject(dataOnly) // now decodes via the cache
+	waitFor(t, time.Second, func() bool { return p.Stats().Received == 6 })
+
+	seal := p.Seal()
+	if seal.Records == 0 {
+		t.Fatalf("seal = %+v, want committed records", seal)
+	}
+	if _, err := st.Epoch(seal.Epoch, 7); err != nil {
+		t.Fatal(err)
+	}
+	checkAccounting(t, p)
+}

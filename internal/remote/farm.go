@@ -1,0 +1,733 @@
+package remote
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"zkflow/internal/obs"
+	"zkflow/internal/zkvm"
+)
+
+// Farm coordinator: the dispatch plane of the prover farm.
+//
+// Workers dial in over TCP, register with a Hello (name, capacity) and
+// keep a heartbeat running; the coordinator dispatches proving jobs —
+// whole guest runs or individual continuation segments — from one
+// central queue, capacity-aware: a freed slot anywhere pulls the next
+// queued job, so a fast worker steals work planned for a slow one.
+// Failover is first-class: a worker that misses HeartbeatMiss
+// heartbeats or whose connection drops mid-job is declared dead, its
+// connection is closed (so late results can never race in), and its
+// in-flight jobs are re-queued at the front of the queue. Exactly-once
+// delivery is enforced at the result path: the first accepted result
+// per job wins, anything later is counted and dropped.
+//
+// Determinism makes all of this safe: every job carries the master
+// salt seed, so whichever worker (re-)proves a segment produces the
+// same bytes, and the assembled composite is byte-identical to a
+// single prover's output at any worker count and under any failover
+// schedule.
+
+// FarmConfig configures a Coordinator.
+type FarmConfig struct {
+	// HeartbeatEvery is the heartbeat interval workers are told to use
+	// (default DefaultHeartbeatEvery).
+	HeartbeatEvery time.Duration
+	// HeartbeatMiss is how many consecutive missed heartbeat intervals
+	// declare a worker dead (default DefaultHeartbeatMiss).
+	HeartbeatMiss int
+	// Metrics receives the farm's observability stream (nil = a
+	// private registry): farm.workers, farm.jobs_queued,
+	// farm.jobs_inflight, farm.jobs_dispatched, farm.jobs_requeued,
+	// farm.steals, farm.results_ok/err/duplicate counters, and the
+	// per-worker farm.worker.<name>.in_flight / .stolen / .requeued /
+	// .heartbeat_age_ms gauges.
+	Metrics *obs.Registry
+}
+
+// Farm heartbeat defaults.
+const (
+	DefaultHeartbeatEvery = 500 * time.Millisecond
+	DefaultHeartbeatMiss  = 3
+)
+
+// ErrFarmClosed reports a job submitted to (or queued on) a closed
+// coordinator.
+var ErrFarmClosed = errors.New("remote: farm coordinator closed")
+
+// farmJob is one queued or in-flight unit of proving work.
+type farmJob struct {
+	id       uint64
+	mode     byte
+	segIndex uint32
+	seed     [32]byte
+	req      []byte
+
+	home      uint32 // planned worker at enqueue time (0 = none yet)
+	attempts  int
+	delivered bool
+	done      chan jobOutcome // buffered(1); closed never
+	abandoned bool            // caller gave up (ctx cancelled)
+}
+
+type jobOutcome struct {
+	payload []byte
+	err     error
+}
+
+// farmWorker is the coordinator's view of one registered worker.
+type farmWorker struct {
+	id       uint32
+	name     string
+	capacity int
+	conn     net.Conn
+	sendMu   sync.Mutex
+
+	inflight map[uint64]*farmJob
+	planned  int // queued jobs homed here by the enqueue planner
+	lastBeat time.Time
+	dead     bool
+
+	gInFlight *obs.Gauge
+	gStolen   *obs.Gauge
+	gRequeued *obs.Gauge
+	gBeatAge  *obs.Gauge
+}
+
+// free returns the worker's free job slots.
+func (w *farmWorker) free() int { return w.capacity - len(w.inflight) }
+
+// Coordinator accepts worker registrations and dispatches proving
+// jobs. It implements core.Backend (ProveContext) and core.ProveFunc
+// (Prove), so it drops into core.Options beside the local prover and
+// the HTTP client.
+type Coordinator struct {
+	cfg FarmConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled on queue/worker/slot changes
+	workers map[uint32]*farmWorker
+	queue   []*farmJob // FIFO; failover re-queues at the front
+	nextWID uint32
+	nextJID uint64
+	closed  bool
+	closeCh chan struct{}
+
+	ln       net.Listener
+	dispatch sync.WaitGroup
+
+	reg          *obs.Registry
+	gWorkers     *obs.Gauge
+	gQueued      *obs.Gauge
+	gInflight    *obs.Gauge
+	cDispatched  *obs.Counter
+	cRequeued    *obs.Counter
+	cSteals      *obs.Counter
+	cResultsOK   *obs.Counter
+	cResultsErr  *obs.Counter
+	cResultsDup  *obs.Counter
+	cBadFrames   *obs.Counter
+	cWorkersDead *obs.Counter
+}
+
+// NewCoordinator creates a farm coordinator. Call Serve (or Start) to
+// accept workers.
+func NewCoordinator(cfg FarmConfig) *Coordinator {
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if cfg.HeartbeatMiss <= 0 {
+		cfg.HeartbeatMiss = DefaultHeartbeatMiss
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &Coordinator{
+		cfg:          cfg,
+		workers:      make(map[uint32]*farmWorker),
+		closeCh:      make(chan struct{}),
+		reg:          reg,
+		gWorkers:     reg.Gauge("farm.workers"),
+		gQueued:      reg.Gauge("farm.jobs_queued"),
+		gInflight:    reg.Gauge("farm.jobs_inflight"),
+		cDispatched:  reg.Counter("farm.jobs_dispatched"),
+		cRequeued:    reg.Counter("farm.jobs_requeued"),
+		cSteals:      reg.Counter("farm.steals"),
+		cResultsOK:   reg.Counter("farm.results_ok"),
+		cResultsErr:  reg.Counter("farm.results_err"),
+		cResultsDup:  reg.Counter("farm.results_duplicate"),
+		cBadFrames:   reg.Counter("farm.bad_frames"),
+		cWorkersDead: reg.Counter("farm.workers_dead"),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Start listens on addr and serves in the background.
+func (c *Coordinator) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.ln = ln
+	c.mu.Unlock()
+	go c.Serve(ln)
+	return nil
+}
+
+// Addr returns the listen address ("" before Start/Serve).
+func (c *Coordinator) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// Serve accepts worker connections on ln until Close (or a listener
+// failure). It also runs the dispatcher and the heartbeat monitor.
+func (c *Coordinator) Serve(ln net.Listener) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		ln.Close()
+		return ErrFarmClosed
+	}
+	c.ln = ln
+	c.mu.Unlock()
+
+	c.dispatch.Add(2)
+	go c.dispatchLoop()
+	go c.monitorLoop()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go c.handleConn(conn)
+	}
+}
+
+// Close shuts the coordinator down: the listener stops, every worker
+// connection closes, queued and in-flight jobs fail with ErrFarmClosed.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.closeCh)
+	ln := c.ln
+	var conns []net.Conn
+	for _, w := range c.workers {
+		w.dead = true
+		conns = append(conns, w.conn)
+		for id, j := range w.inflight {
+			delete(w.inflight, id)
+			c.deliverLocked(j, jobOutcome{err: ErrFarmClosed})
+		}
+	}
+	for _, j := range c.queue {
+		c.deliverLocked(j, jobOutcome{err: ErrFarmClosed})
+	}
+	c.queue = nil
+	c.gQueued.Set(0)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, conn := range conns {
+		conn.Close()
+	}
+	c.dispatch.Wait()
+	return nil
+}
+
+// Workers returns the live worker count.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// WaitForWorkers blocks until at least n workers are registered or the
+// context expires.
+func (c *Coordinator) WaitForWorkers(ctx context.Context, n int) error {
+	for {
+		c.mu.Lock()
+		got, closed := len(c.workers), c.closed
+		c.mu.Unlock()
+		if closed {
+			return ErrFarmClosed
+		}
+		if got >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("remote: waiting for %d workers (have %d): %w", n, got, ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// handleConn runs one worker connection: registration, then a read
+// loop for heartbeats and results. Any malformed frame or read error
+// kills the worker and triggers failover.
+func (c *Coordinator) handleConn(conn net.Conn) {
+	// Registration must arrive promptly; a silent dialer cannot hold a
+	// slot open forever.
+	conn.SetReadDeadline(time.Now().Add(10 * c.cfg.HeartbeatEvery))
+	typ, payload, err := readFrame(conn)
+	if err != nil || typ != frameHello {
+		c.cBadFrames.Inc()
+		conn.Close()
+		return
+	}
+	hello, err := decodeHello(payload)
+	if err != nil || hello.Capacity == 0 {
+		c.cBadFrames.Inc()
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.nextWID++
+	w := &farmWorker{
+		id:       c.nextWID,
+		name:     hello.Name,
+		capacity: int(hello.Capacity),
+		conn:     conn,
+		inflight: make(map[uint64]*farmJob),
+		lastBeat: time.Now(),
+	}
+	if w.name == "" {
+		w.name = fmt.Sprintf("worker-%d", w.id)
+	}
+	prefix := "farm.worker." + w.name
+	w.gInFlight = c.reg.Gauge(prefix + ".in_flight")
+	w.gStolen = c.reg.Gauge(prefix + ".stolen")
+	w.gRequeued = c.reg.Gauge(prefix + ".requeued")
+	w.gBeatAge = c.reg.Gauge(prefix + ".heartbeat_age_ms")
+	w.gInFlight.Set(0)
+	w.gBeatAge.Set(0)
+	c.workers[w.id] = w
+	c.gWorkers.Set(int64(len(c.workers)))
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	if err := c.send(w, frameWelcome, encodeWelcome(welcomeMsg{
+		WorkerID:    w.id,
+		HeartbeatMs: uint32(c.cfg.HeartbeatEvery / time.Millisecond),
+	})); err != nil {
+		c.killWorker(w, "welcome write failed")
+		return
+	}
+
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			c.killWorker(w, "read failed")
+			return
+		}
+		switch typ {
+		case frameHeartbeat:
+			if _, err := decodeHeartbeat(payload); err != nil {
+				c.cBadFrames.Inc()
+				c.killWorker(w, "malformed heartbeat")
+				return
+			}
+			c.mu.Lock()
+			w.lastBeat = time.Now()
+			c.mu.Unlock()
+		case frameResult:
+			res, err := decodeResult(payload)
+			if err != nil {
+				c.cBadFrames.Inc()
+				c.killWorker(w, "malformed result")
+				return
+			}
+			c.handleResult(w, res)
+		default:
+			c.cBadFrames.Inc()
+			c.killWorker(w, "unexpected frame")
+			return
+		}
+	}
+}
+
+// send writes one frame to a worker, serialised per connection.
+func (c *Coordinator) send(w *farmWorker, typ byte, payload []byte) error {
+	w.sendMu.Lock()
+	defer w.sendMu.Unlock()
+	return writeFrame(w.conn, typ, payload)
+}
+
+// killWorker declares a worker dead: its connection closes (late
+// results can never arrive), its in-flight jobs are re-queued at the
+// FRONT of the queue (ordered by segment index so re-proving follows
+// chain order), and the dispatcher is woken. Idempotent.
+func (c *Coordinator) killWorker(w *farmWorker, reason string) {
+	c.mu.Lock()
+	if w.dead {
+		c.mu.Unlock()
+		return
+	}
+	w.dead = true
+	delete(c.workers, w.id)
+	c.gWorkers.Set(int64(len(c.workers)))
+	c.cWorkersDead.Inc()
+	var orphans []*farmJob
+	for id, j := range w.inflight {
+		delete(w.inflight, id)
+		orphans = append(orphans, j)
+	}
+	w.gInFlight.Set(0)
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].segIndex < orphans[j].segIndex })
+	requeued := 0
+	for i := len(orphans) - 1; i >= 0; i-- {
+		j := orphans[i]
+		if j.delivered || j.abandoned {
+			continue
+		}
+		c.queue = append([]*farmJob{j}, c.queue...)
+		requeued++
+	}
+	if requeued > 0 {
+		c.cRequeued.Add(uint64(requeued))
+		w.gRequeued.Add(int64(requeued))
+		c.gQueued.Set(int64(len(c.queue)))
+	}
+	c.gInflight.Add(-int64(len(orphans)))
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	w.conn.Close()
+	_ = reason
+}
+
+// handleResult delivers a finished job exactly once: the result must
+// match a job currently in-flight on this worker, and the first
+// delivery wins. Anything else — unknown job, already-delivered job —
+// is counted as a duplicate and dropped.
+func (c *Coordinator) handleResult(w *farmWorker, res resultMsg) {
+	c.mu.Lock()
+	j, ok := w.inflight[res.JobID]
+	if !ok {
+		c.cResultsDup.Inc()
+		c.mu.Unlock()
+		return
+	}
+	delete(w.inflight, res.JobID)
+	w.gInFlight.Set(int64(len(w.inflight)))
+	c.gInflight.Add(-1)
+	if j.delivered {
+		c.cResultsDup.Inc()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		return
+	}
+	var out jobOutcome
+	if res.OK {
+		c.cResultsOK.Inc()
+		out = jobOutcome{payload: res.Payload}
+	} else {
+		c.cResultsErr.Inc()
+		out = jobOutcome{err: fmt.Errorf("%w: worker %s: %s", ErrRemote, w.name, res.Payload)}
+	}
+	c.deliverLocked(j, out)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// deliverLocked marks a job delivered and hands its outcome to the
+// waiting caller. c.mu must be held.
+func (c *Coordinator) deliverLocked(j *farmJob, out jobOutcome) {
+	if j.delivered {
+		return
+	}
+	j.delivered = true
+	j.done <- out // buffered(1): never blocks
+}
+
+// dispatchLoop assigns queued jobs to the worker with the most free
+// slots (ties to the lowest worker ID, so tests are deterministic).
+// Executing on a worker other than the job's planned home counts as a
+// steal.
+func (c *Coordinator) dispatchLoop() {
+	defer c.dispatch.Done()
+	for {
+		c.mu.Lock()
+		var (
+			j *farmJob
+			w *farmWorker
+		)
+		for {
+			if c.closed {
+				c.mu.Unlock()
+				return
+			}
+			// Drop abandoned jobs from the queue head.
+			for len(c.queue) > 0 && (c.queue[0].abandoned || c.queue[0].delivered) {
+				c.queue = c.queue[1:]
+			}
+			c.gQueued.Set(int64(len(c.queue)))
+			if len(c.queue) > 0 {
+				w = c.pickWorkerLocked()
+				if w != nil {
+					j = c.queue[0]
+					c.queue = c.queue[1:]
+					break
+				}
+			}
+			c.cond.Wait()
+		}
+		j.attempts++
+		if home, ok := c.workers[j.home]; ok && home.planned > 0 {
+			home.planned--
+		}
+		if j.home == 0 {
+			j.home = w.id
+		} else if j.home != w.id {
+			// Capacity-aware stealing: the job was planned for another
+			// worker (or re-queued off a dead one) and a freer worker
+			// pulled it first.
+			c.cSteals.Inc()
+			w.gStolen.Add(1)
+		}
+		w.inflight[j.id] = j
+		w.gInFlight.Set(int64(len(w.inflight)))
+		c.gQueued.Set(int64(len(c.queue)))
+		c.gInflight.Add(1)
+		c.cDispatched.Inc()
+		c.mu.Unlock()
+
+		if err := c.send(w, frameJob, encodeJob(jobMsg{
+			JobID: j.id, Mode: j.mode, SegIndex: j.segIndex, Seed: j.seed, Req: j.req,
+		})); err != nil {
+			c.killWorker(w, "job write failed")
+		}
+	}
+}
+
+// pickWorkerLocked returns the live worker with the most free slots
+// (nil if none has capacity). c.mu must be held.
+func (c *Coordinator) pickWorkerLocked() *farmWorker {
+	var best *farmWorker
+	for _, w := range c.workers {
+		if w.free() <= 0 {
+			continue
+		}
+		if best == nil || w.free() > best.free() || (w.free() == best.free() && w.id < best.id) {
+			best = w
+		}
+	}
+	return best
+}
+
+// monitorLoop watches heartbeats: a worker whose last heartbeat is
+// older than HeartbeatEvery*HeartbeatMiss is declared dead. It also
+// refreshes the per-worker heartbeat-age gauges.
+func (c *Coordinator) monitorLoop() {
+	defer c.dispatch.Done()
+	tick := time.NewTicker(c.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	deadline := time.Duration(c.cfg.HeartbeatMiss) * c.cfg.HeartbeatEvery
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		var stale []*farmWorker
+		now := time.Now()
+		for _, w := range c.workers {
+			age := now.Sub(w.lastBeat)
+			w.gBeatAge.Set(age.Milliseconds())
+			if age > deadline {
+				stale = append(stale, w)
+			}
+		}
+		c.mu.Unlock()
+		for _, w := range stale {
+			c.killWorker(w, "missed heartbeats")
+		}
+		select {
+		case <-tick.C:
+		case <-c.closeCh:
+			return
+		}
+	}
+}
+
+// enqueue adds a job to the tail of the queue. The planner assigns a
+// home worker up front — the one with the most free slots counting
+// jobs already planned for it, i.e. where a static capacity-weighted
+// split would put the job. Execution on any other worker counts as a
+// steal; with equal workers and no faults the steal count stays near
+// zero, and it grows exactly when capacity imbalance or failover makes
+// the central queue earn its keep.
+func (c *Coordinator) enqueue(mode byte, segIndex uint32, seed [32]byte, req []byte) (*farmJob, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrFarmClosed
+	}
+	c.nextJID++
+	j := &farmJob{
+		id: c.nextJID, mode: mode, segIndex: segIndex, seed: seed, req: req,
+		done: make(chan jobOutcome, 1),
+	}
+	var home *farmWorker
+	for _, w := range c.workers {
+		if home == nil ||
+			w.capacity-len(w.inflight)-w.planned > home.capacity-len(home.inflight)-home.planned ||
+			(w.capacity-len(w.inflight)-w.planned == home.capacity-len(home.inflight)-home.planned && w.id < home.id) {
+			home = w
+		}
+	}
+	if home != nil {
+		j.home = home.id
+		home.planned++
+	}
+	c.queue = append(c.queue, j)
+	c.gQueued.Set(int64(len(c.queue)))
+	c.cond.Broadcast()
+	return j, nil
+}
+
+// await blocks for a job outcome or caller cancellation. A cancelled
+// job is marked abandoned: if still queued the dispatcher skips it, if
+// in flight the eventual result is dropped by the delivered check.
+func (c *Coordinator) await(ctx context.Context, j *farmJob) ([]byte, error) {
+	select {
+	case out := <-j.done:
+		return out.payload, out.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		j.abandoned = true
+		if !j.delivered {
+			j.delivered = true // suppress any late delivery
+		}
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// ProveSeeded proves one guest run on the farm under an explicit
+// master salt seed. With opts.SegmentCycles > 0 the coordinator plans
+// the segment count (a cheap emulator pass), dispatches one job per
+// segment, reassembles the returned segment receipts, and verifies
+// the composite; the result is byte-identical to
+// zkvm.ProveSegmentedWithSeed(prog, input, opts, seed) no matter how
+// many workers served it or which of them failed along the way.
+// Otherwise the run dispatches as one whole job.
+func (c *Coordinator) ProveSeeded(ctx context.Context, prog *zkvm.Program, input []uint32, opts zkvm.ProveOptions, seed [32]byte) (zkvm.AnyReceipt, error) {
+	req := EncodeRequest(prog, input, opts)
+	if opts.SegmentCycles > 0 {
+		n, err := zkvm.PlanSegments(prog, input, opts)
+		if err != nil {
+			return nil, err // guest aborts surface before any dispatch
+		}
+		jobs := make([]*farmJob, n)
+		for i := 0; i < n; i++ {
+			j, err := c.enqueue(jobSegment, uint32(i), seed, req)
+			if err != nil {
+				return nil, err
+			}
+			jobs[i] = j
+		}
+		receipts := make([]*zkvm.SegmentReceipt, n)
+		for i, j := range jobs {
+			payload, err := c.await(ctx, j)
+			if err != nil {
+				// Abandon the rest of the fan-out before unwinding.
+				for _, rest := range jobs[i+1:] {
+					c.mu.Lock()
+					rest.abandoned = true
+					c.mu.Unlock()
+				}
+				return nil, fmt.Errorf("remote: farm segment %d: %w", i, err)
+			}
+			sr, err := zkvm.UnmarshalSegmentReceipt(payload)
+			if err != nil {
+				return nil, fmt.Errorf("%w: segment %d: %v", ErrRemote, i, err)
+			}
+			receipts[i] = sr
+		}
+		comp, err := zkvm.AssembleComposite(receipts)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+		}
+		return c.checkReceipt(prog, comp, opts)
+	}
+	j, err := c.enqueue(jobWhole, 0, seed, req)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := c.await(ctx, j)
+	if err != nil {
+		return nil, err
+	}
+	receipt, err := zkvm.UnmarshalAnyReceipt(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	return c.checkReceipt(prog, receipt, opts)
+}
+
+// checkReceipt locally re-verifies a farm-assembled receipt before
+// handing it to the caller — same trust stance as Client.check: a
+// buggy or compromised worker cannot slip an invalid receipt into the
+// aggregation chain.
+func (c *Coordinator) checkReceipt(prog *zkvm.Program, receipt zkvm.AnyReceipt, opts zkvm.ProveOptions) (zkvm.AnyReceipt, error) {
+	if receipt.Image() != prog.ID() {
+		return nil, fmt.Errorf("%w: farm returned a receipt for image %v", ErrRemote, receipt.Image())
+	}
+	if err := zkvm.VerifyAny(prog, receipt, zkvm.VerifyOptions{AllowNonZeroExit: true}); err != nil {
+		return nil, fmt.Errorf("%w: farm receipt invalid: %v", ErrRemote, err)
+	}
+	if code := receipt.ExitStatus(); code != 0 && !opts.AllowNonZeroExit {
+		return nil, &zkvm.GuestAbortError{ExitCode: code, Journal: receipt.JournalWords()}
+	}
+	return receipt, nil
+}
+
+// ProveContext implements core.Backend under a fresh random master
+// seed per job.
+func (c *Coordinator) ProveContext(ctx context.Context, prog *zkvm.Program, input []uint32, opts zkvm.ProveOptions) (zkvm.AnyReceipt, error) {
+	var seed [32]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		return nil, fmt.Errorf("remote: salt seed: %w", err)
+	}
+	return c.ProveSeeded(ctx, prog, input, opts, seed)
+}
+
+// Prove satisfies core.ProveFunc.
+func (c *Coordinator) Prove(prog *zkvm.Program, input []uint32, opts zkvm.ProveOptions) (zkvm.AnyReceipt, error) {
+	return c.ProveContext(context.Background(), prog, input, opts)
+}

@@ -1,0 +1,388 @@
+package remote
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"zkflow/internal/obs"
+	"zkflow/internal/zkvm"
+)
+
+// Farm worker: dials the coordinator, registers, heartbeats, and
+// proves dispatched jobs. Segment jobs for the same (request, seed)
+// share one traced execution through a small refcounted cache, so a
+// worker handed several segments of an epoch pays the emulator pass
+// once.
+
+// WorkerConfig configures RunWorker.
+type WorkerConfig struct {
+	// Name is the worker's display name (defaults to a coordinator-
+	// assigned "worker-<id>").
+	Name string
+	// Capacity is the number of jobs the worker proves concurrently
+	// (default 1).
+	Capacity int
+	// Metrics receives worker-side counters (nil = private registry).
+	Metrics *obs.Registry
+	// Prove overrides job proving — the fault-injection hook. nil uses
+	// the default local prover.
+	Prove ProveJobFunc
+	// Dial overrides connection establishment — the other
+	// fault-injection hook. nil uses net.Dial("tcp", ...).
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
+	// HeartbeatEvery overrides the coordinator-announced heartbeat
+	// interval when positive. Tests use it to simulate stale workers.
+	HeartbeatEvery time.Duration
+	// SuppressHeartbeats stops the heartbeat loop entirely (fault
+	// injection: a wedged-but-connected worker).
+	SuppressHeartbeats bool
+}
+
+// WorkerJob is one decoded dispatch handed to a ProveJobFunc.
+type WorkerJob struct {
+	ID       uint64
+	Segment  bool // false: whole run
+	SegIndex int
+	Seed     [32]byte
+	Prog     *zkvm.Program
+	Input    []uint32
+	Opts     zkvm.ProveOptions
+}
+
+// ProveJobFunc proves one job, returning the wire payload (a
+// standalone segment receipt for segment jobs, a receipt encoding for
+// whole jobs).
+type ProveJobFunc func(ctx context.Context, job *WorkerJob) ([]byte, error)
+
+// runCache shares SegmentRuns between segment jobs with the same
+// (request, seed), keeping at most runCacheSize idle runs alive.
+type runCache struct {
+	mu      sync.Mutex
+	entries map[[32]byte]*runCacheEntry
+	order   [][32]byte // LRU, oldest first
+}
+
+type runCacheEntry struct {
+	run  *zkvm.SegmentRun
+	refs int
+}
+
+const runCacheSize = 2
+
+func newRunCache() *runCache {
+	return &runCache{entries: make(map[[32]byte]*runCacheEntry)}
+}
+
+func runCacheKey(req []byte, seed [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write(seed[:])
+	h.Write(req)
+	var k [32]byte
+	h.Sum(k[:0])
+	return k
+}
+
+// acquire returns the cached run for key, executing the guest on a
+// miss. The caller must release with the same key.
+func (rc *runCache) acquire(key [32]byte, build func() (*zkvm.SegmentRun, error)) (*zkvm.SegmentRun, error) {
+	rc.mu.Lock()
+	if e, ok := rc.entries[key]; ok {
+		e.refs++
+		rc.touchLocked(key)
+		rc.mu.Unlock()
+		return e.run, nil
+	}
+	rc.mu.Unlock()
+	// Build outside the lock: executions are slow and independent.
+	run, err := build()
+	if err != nil {
+		return nil, err
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if e, ok := rc.entries[key]; ok {
+		// Lost a build race; keep the established run.
+		e.refs++
+		rc.touchLocked(key)
+		run.Release()
+		return e.run, nil
+	}
+	rc.entries[key] = &runCacheEntry{run: run, refs: 1}
+	rc.order = append(rc.order, key)
+	rc.evictLocked()
+	return run, nil
+}
+
+func (rc *runCache) release(key [32]byte) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if e, ok := rc.entries[key]; ok && e.refs > 0 {
+		e.refs--
+	}
+	rc.evictLocked()
+}
+
+func (rc *runCache) touchLocked(key [32]byte) {
+	for i, k := range rc.order {
+		if k == key {
+			rc.order = append(append(rc.order[:i:i], rc.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// evictLocked releases idle runs beyond the cache bound, oldest first.
+func (rc *runCache) evictLocked() {
+	for len(rc.entries) > runCacheSize {
+		evicted := false
+		for i, k := range rc.order {
+			e := rc.entries[k]
+			if e.refs > 0 {
+				continue
+			}
+			delete(rc.entries, k)
+			rc.order = append(rc.order[:i:i], rc.order[i+1:]...)
+			e.run.Release()
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything busy; try again on next release
+		}
+	}
+}
+
+// drain releases every idle cached run (worker shutdown).
+func (rc *runCache) drain() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for k, e := range rc.entries {
+		if e.refs == 0 {
+			delete(rc.entries, k)
+			e.run.Release()
+		}
+	}
+	rc.order = rc.order[:0]
+}
+
+// defaultProveJob proves a job locally: segment jobs through the
+// shared run cache, whole jobs via the deterministic seeded provers.
+func defaultProveJob(cache *runCache) ProveJobFunc {
+	return func(_ context.Context, job *WorkerJob) ([]byte, error) {
+		if job.Segment {
+			key := runCacheKey(EncodeRequest(job.Prog, job.Input, job.Opts), job.Seed)
+			run, err := cache.acquire(key, func() (*zkvm.SegmentRun, error) {
+				return zkvm.NewSegmentRun(job.Prog, job.Input, job.Opts, job.Seed)
+			})
+			if err != nil {
+				return nil, err
+			}
+			defer cache.release(key)
+			sr, err := run.ProveSegment(job.SegIndex)
+			if err != nil {
+				return nil, err
+			}
+			return zkvm.MarshalSegmentReceipt(sr)
+		}
+		if job.Opts.SegmentCycles > 0 {
+			comp, err := zkvm.ProveSegmentedWithSeed(job.Prog, job.Input, job.Opts, job.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return comp.MarshalBinary()
+		}
+		r, err := zkvm.ProveWithSeed(job.Prog, job.Input, job.Opts, job.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return r.MarshalBinary()
+	}
+}
+
+// RunWorker connects to a coordinator and proves jobs until the
+// context is cancelled or the connection dies (callers reconnect by
+// calling it again). The returned error is nil only on context
+// cancellation.
+func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) error {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	var (
+		cJobs     = reg.Counter("farmworker.jobs")
+		cOK       = reg.Counter("farmworker.results_ok")
+		cFail     = reg.Counter("farmworker.results_err")
+		gInFlight = reg.Gauge("farmworker.in_flight")
+	)
+
+	dial := cfg.Dial
+	if dial == nil {
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	conn, err := dial(ctx, addr)
+	if err != nil {
+		return fmt.Errorf("remote: worker dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+
+	var sendMu sync.Mutex
+	send := func(typ byte, payload []byte) error {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		return writeFrame(conn, typ, payload)
+	}
+
+	if err := send(frameHello, encodeHello(helloMsg{Name: cfg.Name, Capacity: uint32(cfg.Capacity)})); err != nil {
+		return fmt.Errorf("remote: worker hello: %w", err)
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("remote: worker awaiting welcome: %w", err)
+	}
+	if typ != frameWelcome {
+		return fmt.Errorf("%w: expected welcome, got frame %#x", ErrBadFrame, typ)
+	}
+	welcome, err := decodeWelcome(payload)
+	if err != nil {
+		return err
+	}
+
+	// Everything below shares the connection's lifetime. Cancellation
+	// closes the connection so the read loop unblocks promptly.
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		<-wctx.Done()
+		conn.Close()
+	}()
+	var inFlight sync.WaitGroup
+	var inFlightN int64
+	var inFlightMu sync.Mutex
+
+	beat := cfg.HeartbeatEvery
+	if beat <= 0 {
+		beat = time.Duration(welcome.HeartbeatMs) * time.Millisecond
+	}
+	if beat <= 0 {
+		beat = DefaultHeartbeatEvery
+	}
+	if !cfg.SuppressHeartbeats {
+		go func() {
+			tick := time.NewTicker(beat)
+			defer tick.Stop()
+			for {
+				select {
+				case <-wctx.Done():
+					return
+				case <-tick.C:
+				}
+				inFlightMu.Lock()
+				n := inFlightN
+				inFlightMu.Unlock()
+				if err := send(frameHeartbeat, encodeHeartbeat(heartbeatMsg{InFlight: uint32(n)})); err != nil {
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+
+	cache := newRunCache()
+	defer cache.drain()
+	prove := cfg.Prove
+	if prove == nil {
+		prove = defaultProveJob(cache)
+	}
+
+	// Read loop: dispatches spawn prover goroutines bounded by the
+	// announced capacity (the coordinator respects it; the semaphore
+	// guards against a buggy or malicious one).
+	slots := make(chan struct{}, cfg.Capacity)
+	var readErr error
+readLoop:
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				err = nil
+			}
+			readErr = err
+			break readLoop
+		}
+		if typ != frameJob {
+			readErr = fmt.Errorf("%w: unexpected frame %#x from coordinator", ErrBadFrame, typ)
+			break readLoop
+		}
+		msg, err := decodeJob(payload)
+		if err != nil {
+			readErr = err
+			break readLoop
+		}
+		dj, err := parseJob(msg)
+		if err != nil {
+			// A job that does not decode is answered, not fatal: the
+			// coordinator built it, so tell it what went wrong.
+			send(frameResult, encodeResult(resultMsg{JobID: msg.JobID, OK: false, Payload: []byte(err.Error())}))
+			continue
+		}
+		select {
+		case slots <- struct{}{}:
+		case <-wctx.Done():
+			readErr = nil
+			break readLoop
+		}
+		inFlight.Add(1)
+		inFlightMu.Lock()
+		inFlightN++
+		inFlightMu.Unlock()
+		gInFlight.Add(1)
+		cJobs.Inc()
+		go func(dj *decodedJob) {
+			defer func() {
+				<-slots
+				inFlightMu.Lock()
+				inFlightN--
+				inFlightMu.Unlock()
+				gInFlight.Add(-1)
+				inFlight.Done()
+			}()
+			job := &WorkerJob{
+				ID:       dj.msg.JobID,
+				Segment:  dj.msg.Mode == jobSegment,
+				SegIndex: int(dj.msg.SegIndex),
+				Seed:     dj.msg.Seed,
+				Prog:     dj.prog,
+				Input:    dj.input,
+				Opts:     dj.opts,
+			}
+			out, err := prove(wctx, job)
+			if err != nil {
+				if wctx.Err() != nil && errors.Is(err, context.Canceled) {
+					return
+				}
+				cFail.Inc()
+				send(frameResult, encodeResult(resultMsg{JobID: job.ID, OK: false, Payload: []byte(err.Error())}))
+				return
+			}
+			cOK.Inc()
+			if err := send(frameResult, encodeResult(resultMsg{JobID: job.ID, OK: true, Payload: out})); err != nil {
+				cancel()
+			}
+		}(dj)
+	}
+	cancel()
+	conn.Close()
+	inFlight.Wait()
+	return readErr
+}

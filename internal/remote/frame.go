@@ -1,0 +1,253 @@
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"zkflow/internal/zkvm"
+)
+
+// Farm wire protocol: length-prefixed frames over one long-lived TCP
+// connection per worker. The dispatch payload reuses the existing
+// EncodeRequest v1/v2 body (program + input + prove options), so the
+// farm shares its job encoding — and its fuzz corpus — with the HTTP
+// worker path.
+//
+//	frame := magic u32 | type u8 | len u32 | payload[len]
+//
+// All integers little-endian. Decoders are total: any malformed frame
+// yields an error (never a panic), and the coordinator answers a
+// malformed frame by disconnecting the worker.
+const (
+	frameMagic = 0x7a6b6661 // "zkfa"
+
+	frameHello     = 0x01 // worker -> coordinator: registration
+	frameWelcome   = 0x02 // coordinator -> worker: accepted
+	frameHeartbeat = 0x03 // worker -> coordinator: liveness
+	frameJob       = 0x04 // coordinator -> worker: dispatch
+	frameResult    = 0x05 // worker -> coordinator: receipt or failure
+)
+
+// frameHeader is the fixed prefix size (magic + type + length).
+const frameHeader = 9
+
+// maxFrame bounds a frame payload. Job frames embed a full proving
+// request, so the bound matches the HTTP path's request cap.
+const maxFrame = maxRequest
+
+// ErrBadFrame reports an unparseable farm frame.
+var ErrBadFrame = errors.New("remote: malformed farm frame")
+
+// writeFrame writes one frame. Callers serialise writes per
+// connection.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	hdr := make([]byte, frameHeader)
+	binary.LittleEndian.PutUint32(hdr, frameMagic)
+	hdr[4] = typ
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, bounding the payload at maxFrame.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	hdr := make([]byte, frameHeader)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr) != frameMagic {
+		return 0, nil, ErrBadFrame
+	}
+	typ := hdr[4]
+	n := binary.LittleEndian.Uint32(hdr[5:])
+	if int64(n) > maxFrame {
+		return 0, nil, ErrBadFrame
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+	}
+	return typ, payload, nil
+}
+
+// helloMsg registers a worker: a display name and its proving
+// capacity (concurrent job slots).
+type helloMsg struct {
+	Name     string
+	Capacity uint32
+}
+
+func encodeHello(m helloMsg) []byte {
+	out := make([]byte, 0, 6+len(m.Name))
+	out = binary.LittleEndian.AppendUint32(out, m.Capacity)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Name)))
+	return append(out, m.Name...)
+}
+
+func decodeHello(p []byte) (helloMsg, error) {
+	var m helloMsg
+	if len(p) < 6 {
+		return m, ErrBadFrame
+	}
+	m.Capacity = binary.LittleEndian.Uint32(p)
+	nameLen := int(binary.LittleEndian.Uint16(p[4:]))
+	if len(p)-6 != nameLen {
+		return m, ErrBadFrame
+	}
+	m.Name = string(p[6:])
+	return m, nil
+}
+
+// welcomeMsg accepts a registration: the assigned worker ID and the
+// heartbeat interval the coordinator expects.
+type welcomeMsg struct {
+	WorkerID    uint32
+	HeartbeatMs uint32
+}
+
+func encodeWelcome(m welcomeMsg) []byte {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint32(out, m.WorkerID)
+	binary.LittleEndian.PutUint32(out[4:], m.HeartbeatMs)
+	return out
+}
+
+func decodeWelcome(p []byte) (welcomeMsg, error) {
+	if len(p) != 8 {
+		return welcomeMsg{}, ErrBadFrame
+	}
+	return welcomeMsg{
+		WorkerID:    binary.LittleEndian.Uint32(p),
+		HeartbeatMs: binary.LittleEndian.Uint32(p[4:]),
+	}, nil
+}
+
+// heartbeatMsg reports liveness and current load.
+type heartbeatMsg struct {
+	InFlight uint32
+}
+
+func encodeHeartbeat(m heartbeatMsg) []byte {
+	out := make([]byte, 4)
+	binary.LittleEndian.PutUint32(out, m.InFlight)
+	return out
+}
+
+func decodeHeartbeat(p []byte) (heartbeatMsg, error) {
+	if len(p) != 4 {
+		return heartbeatMsg{}, ErrBadFrame
+	}
+	return heartbeatMsg{InFlight: binary.LittleEndian.Uint32(p)}, nil
+}
+
+// Job modes: a whole guest run proved as one unit, or one segment of
+// a deterministic continuation chain.
+const (
+	jobWhole   = 0x00
+	jobSegment = 0x01
+)
+
+// jobMsg dispatches one proving job. Req is an EncodeRequest body
+// (program, input, prove options); Seed is the master salt seed the
+// job must be proved under, which is what makes independently proved
+// segments reassemble byte-identically.
+type jobMsg struct {
+	JobID    uint64
+	Mode     byte
+	SegIndex uint32
+	Seed     [32]byte
+	Req      []byte
+}
+
+func encodeJob(m jobMsg) []byte {
+	out := make([]byte, 0, 49+len(m.Req))
+	out = binary.LittleEndian.AppendUint64(out, m.JobID)
+	out = append(out, m.Mode)
+	out = binary.LittleEndian.AppendUint32(out, m.SegIndex)
+	out = append(out, m.Seed[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Req)))
+	return append(out, m.Req...)
+}
+
+func decodeJob(p []byte) (jobMsg, error) {
+	var m jobMsg
+	if len(p) < 49 {
+		return m, ErrBadFrame
+	}
+	m.JobID = binary.LittleEndian.Uint64(p)
+	m.Mode = p[8]
+	if m.Mode != jobWhole && m.Mode != jobSegment {
+		return m, ErrBadFrame
+	}
+	m.SegIndex = binary.LittleEndian.Uint32(p[9:])
+	copy(m.Seed[:], p[13:45])
+	reqLen := binary.LittleEndian.Uint32(p[45:])
+	if len(p)-49 != int(reqLen) {
+		return m, ErrBadFrame
+	}
+	m.Req = p[49:]
+	return m, nil
+}
+
+// resultMsg returns a finished job. OK results carry receipt bytes
+// (a standalone segment receipt for jobSegment, a full receipt
+// encoding for jobWhole); failures carry the error text.
+type resultMsg struct {
+	JobID   uint64
+	OK      bool
+	Payload []byte
+}
+
+func encodeResult(m resultMsg) []byte {
+	out := make([]byte, 0, 13+len(m.Payload))
+	out = binary.LittleEndian.AppendUint64(out, m.JobID)
+	ok := byte(0)
+	if m.OK {
+		ok = 1
+	}
+	out = append(out, ok)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Payload)))
+	return append(out, m.Payload...)
+}
+
+func decodeResult(p []byte) (resultMsg, error) {
+	var m resultMsg
+	if len(p) < 13 {
+		return m, ErrBadFrame
+	}
+	m.JobID = binary.LittleEndian.Uint64(p)
+	switch p[8] {
+	case 0:
+	case 1:
+		m.OK = true
+	default:
+		return m, ErrBadFrame
+	}
+	n := binary.LittleEndian.Uint32(p[9:])
+	if len(p)-13 != int(n) {
+		return m, ErrBadFrame
+	}
+	m.Payload = p[13:]
+	return m, nil
+}
+
+// decodedJob is a worker-side parsed dispatch.
+type decodedJob struct {
+	msg   jobMsg
+	prog  *zkvm.Program
+	input []uint32
+	opts  zkvm.ProveOptions
+}
+
+func parseJob(m jobMsg) (*decodedJob, error) {
+	prog, input, opts, err := DecodeRequest(m.Req)
+	if err != nil {
+		return nil, err
+	}
+	return &decodedJob{msg: m, prog: prog, input: input, opts: opts}, nil
+}

@@ -118,6 +118,70 @@ func Root(entries [][]uint32) Digest {
 	return RootFromDigests(LeafDigests(entries))
 }
 
+// SubRoots splits the (implicitly Zero-padded) leaf level into aligned
+// power-of-two chunks and folds each independently, returning the root
+// of every sub-tree. shards is clamped to a power of two no larger
+// than the padded leaf count, so the chunks are exactly the sub-trees
+// at one fixed level of the full tree and
+// MergeRoots(SubRoots(d, s)) == RootFromDigests(d) for every s.
+//
+// This is the farm's sharding primitive: per-shard CLog sub-trees can
+// be hashed (or proved) independently — on different goroutines or
+// different workers — and merged by a cheap top-level fold.
+func SubRoots(digests []Digest, shards int) []Digest {
+	size := 1
+	for size < len(digests) {
+		size <<= 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	s := 1
+	for s*2 <= shards && s*2 <= size {
+		s <<= 1
+	}
+	width := size / s
+	out := make([]Digest, s)
+	for i := range out {
+		out[i] = foldChunk(digests, i*width, width)
+	}
+	return out
+}
+
+// foldChunk folds the width leaves starting at off (Zero-padded past
+// the end of digests) to their sub-tree root. width is a power of two.
+func foldChunk(digests []Digest, off, width int) Digest {
+	level := make([]Digest, width)
+	if off < len(digests) {
+		copy(level, digests[off:])
+	}
+	for len(level) > 1 {
+		next := level[:len(level)/2]
+		for i := range next {
+			next[i] = Node(level[2*i], level[2*i+1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// MergeRoots folds aligned sub-tree roots (as returned by SubRoots,
+// power-of-two many) to the global root.
+func MergeRoots(roots []Digest) Digest {
+	if len(roots) == 0 {
+		return Zero
+	}
+	level := append([]Digest(nil), roots...)
+	for len(level) > 1 {
+		next := level[:len(level)/2]
+		for i := range next {
+			next[i] = Node(level[2*i], level[2*i+1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
 // Proof is an inclusion proof in the vmtree convention.
 type Proof struct {
 	Index int

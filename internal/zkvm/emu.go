@@ -377,9 +377,13 @@ func (e *emuEnv) store(addr, val uint32) error {
 	return nil
 }
 
+// errInputExhausted is shared by the traced and count-only emulator
+// environments so a starved guest traps with the same message on both.
+var errInputExhausted = errors.New("input tape exhausted")
+
 func (e *emuEnv) readInput() (uint32, error) {
 	if e.inPtr >= len(e.input) {
-		return 0, errors.New("input tape exhausted")
+		return 0, errInputExhausted
 	}
 	v := e.input[e.inPtr]
 	e.inPtr++

@@ -1,0 +1,363 @@
+package zkvm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"zkflow/internal/merkle"
+)
+
+// This file is the distributed-proving surface of the zkVM: everything
+// a prover farm needs to split one guest run across workers and
+// reassemble a composite receipt that is byte-identical to what a
+// single prover would have produced.
+//
+// The contract rests on determinism: proveSegmentedSeeded derives every
+// per-segment and per-boundary salt seed from one master seed by index,
+// so any worker that (a) re-executes the guest — a cheap emulator pass,
+// orders of magnitude under sealing cost — and (b) proves segment i
+// under the same master seed emits the exact bytes the single prover
+// would. The coordinator hands out (program, input, seed, index) tuples
+// and concatenates the returned segment receipts with AssembleComposite.
+
+// ProveSegmentedWithSeed is ProveSegmented under a caller-supplied
+// master salt seed. Byte-deterministic: same program, input, options
+// and seed produce the same composite receipt at any Parallelism (and
+// across processes). Distributed proving uses it as the golden path;
+// callers that do not need determinism should prefer ProveSegmented,
+// which draws a fresh random seed.
+func ProveSegmentedWithSeed(prog *Program, input []uint32, opts ProveOptions, seed [32]byte) (*CompositeReceipt, error) {
+	return proveSegmentedSeeded(prog, input, opts, &seed)
+}
+
+// ProveWithSeed is Prove under a caller-supplied salt seed — the
+// whole-run (non-segmented) deterministic counterpart of
+// ProveSegmentedWithSeed, used for farm jobs small enough to dispatch
+// as a single unit.
+func ProveWithSeed(prog *Program, input []uint32, opts ProveOptions, seed [32]byte) (*Receipt, error) {
+	execDone := stageTimer(opts.Observer, StageExecute)
+	ex, err := Execute(prog, input, ExecOptions{MaxSteps: opts.MaxSteps})
+	execDone()
+	if err != nil {
+		return nil, err
+	}
+	if ex.ExitCode != 0 && !opts.AllowNonZeroExit {
+		abort := &GuestAbortError{ExitCode: ex.ExitCode, Journal: ex.Journal}
+		releaseExecution(ex)
+		return nil, abort
+	}
+	receipt, err := proveExecutionSeeded(ex, opts, &seed)
+	releaseExecution(ex)
+	return receipt, err
+}
+
+// PlanSegments executes the guest (emulation only, no tracing, no
+// sealing) and returns the number of segments a segmented prove with
+// these options would produce. A coordinator calls this once per job to
+// know how many segment indices to dispatch; it runs on the count-only
+// emulator (plan.go), so it costs raw execution speed rather than the
+// full traced run a prover pays. Guest aborts, traps and step-limit
+// errors surface exactly as they would from ProveSegmented.
+func PlanSegments(prog *Program, input []uint32, opts ProveOptions) (int, error) {
+	n, exitCode, journal, err := countSegments(prog, input, ExecOptions{MaxSteps: opts.MaxSteps}, opts.SegmentCycles)
+	if err != nil {
+		return 0, err
+	}
+	if exitCode != 0 && !opts.AllowNonZeroExit {
+		if journal == nil {
+			journal = []uint32{}
+		}
+		return 0, &GuestAbortError{ExitCode: exitCode, Journal: journal}
+	}
+	return n, nil
+}
+
+// SegmentRun is a traced, boundary-committed guest run from which
+// individual segment receipts can be proved on demand — the worker-side
+// half of distributed proving. Construction pays the emulation and
+// boundary-commit cost once; each ProveSegment call then seals one
+// slice. ProveSegment is safe for concurrent use. Call Release when
+// done to return the trace slabs to their pools.
+type SegmentRun struct {
+	prog *Program
+	opts ProveOptions
+	seed [32]byte
+
+	segs     []*segmentExecution
+	bndSeeds [][32]byte
+	bndTrees []*merkle.Tree
+
+	releaseOnce sync.Once
+}
+
+// NewSegmentRun executes the guest, builds the boundary-image trees
+// under the master seed, and returns a run ready to prove any segment.
+// The boundary MemRoots are fixed at construction, so concurrent
+// ProveSegment calls only read shared state.
+func NewSegmentRun(prog *Program, input []uint32, opts ProveOptions, seed [32]byte) (*SegmentRun, error) {
+	execDone := stageTimer(opts.Observer, StageExecute)
+	segs, err := executeSegmented(prog, input, ExecOptions{MaxSteps: opts.MaxSteps}, opts.SegmentCycles)
+	execDone()
+	if err != nil {
+		return nil, err
+	}
+	releaseSegs := func() {
+		for _, s := range segs {
+			putRowSlab(s.ex.Rows)
+			putMemSlab(s.ex.MemLog)
+			s.ex.Rows, s.ex.MemLog = nil, nil
+		}
+	}
+	last := segs[len(segs)-1]
+	if last.ex.ExitCode != 0 && !opts.AllowNonZeroExit {
+		journal := make([]uint32, 0)
+		for _, s := range segs {
+			journal = append(journal, s.ex.Journal...)
+		}
+		releaseSegs()
+		return nil, &GuestAbortError{ExitCode: last.ex.ExitCode, Journal: journal}
+	}
+
+	r := &SegmentRun{prog: prog, opts: opts, seed: seed, segs: segs}
+	pool := newWorkerPool(opts.Parallelism)
+	segments := opts.Segments
+	if segments <= 0 {
+		segments = defaultSegments()
+	}
+	bndDone := stageTimer(opts.Observer, StageBoundaryCommit)
+	r.bndSeeds = make([][32]byte, len(segs))
+	r.bndTrees = make([]*merkle.Tree, len(segs))
+	for k := 1; k < len(segs); k++ {
+		img := segs[k].entryImg
+		r.bndSeeds[k] = deriveSubSeed(&seed, "bnd", k)
+		bs := &r.bndSeeds[k]
+		r.bndTrees[k] = commitStream(bs, treeBoundary, len(img), imgBytes, segments, pool,
+			func(i int, dst []byte) { encodeImagePairInto(dst, img[i]) })
+		root := r.bndTrees[k].Root()
+		segs[k].entry.MemRoot = root
+		segs[k-1].exit.MemRoot = root
+	}
+	bndDone()
+	return r, nil
+}
+
+// Segments returns the segment count of the run.
+func (r *SegmentRun) Segments() int { return len(r.segs) }
+
+// ProveSegment seals segment index under the run's master seed. The
+// returned receipt is byte-identical to Segments[index] of
+// ProveSegmentedWithSeed(prog, input, opts, seed). Safe to call
+// concurrently for different (or equal) indices.
+func (r *SegmentRun) ProveSegment(index int) (*SegmentReceipt, error) {
+	if index < 0 || index >= len(r.segs) {
+		return nil, fmt.Errorf("zkvm: segment index %d out of range [0,%d)", index, len(r.segs))
+	}
+	segSeed := deriveSubSeed(&r.seed, "seg", index)
+	var entrySeed, exitSeed *[32]byte
+	var entryTree, exitTree *merkle.Tree
+	if index > 0 {
+		entrySeed, entryTree = &r.bndSeeds[index], r.bndTrees[index]
+	}
+	if index+1 < len(r.segs) {
+		exitSeed, exitTree = &r.bndSeeds[index+1], r.bndTrees[index+1]
+	}
+	pool := newWorkerPool(r.opts.Parallelism)
+	return proveSegmentSeeded(r.segs[index], r.opts, &segSeed,
+		entrySeed, entryTree, exitSeed, exitTree, pool)
+}
+
+// Release returns the run's trace slabs and boundary trees to their
+// pools. Idempotent; the run must not be used afterwards.
+func (r *SegmentRun) Release() {
+	r.releaseOnce.Do(func() {
+		for k := 1; k < len(r.bndTrees); k++ {
+			r.bndTrees[k].Release()
+		}
+		for _, s := range r.segs {
+			putRowSlab(s.ex.Rows)
+			putMemSlab(s.ex.MemLog)
+			s.ex.Rows, s.ex.MemLog = nil, nil
+		}
+	})
+}
+
+// AssembleComposite orders independently proved segment receipts by
+// index and checks they form one coherent chain: contiguous indices
+// from zero, exactly one receipt per index, one final segment at the
+// end, a single image ID, and exit(i) == entry(i+1) linkage. It does
+// NOT verify the seals — callers that need cryptographic assurance run
+// VerifyComposite on the result.
+func AssembleComposite(receipts []*SegmentReceipt) (*CompositeReceipt, error) {
+	n := len(receipts)
+	if n == 0 {
+		return nil, errors.New("zkvm: assemble: no segment receipts")
+	}
+	ordered := make([]*SegmentReceipt, n)
+	for _, sr := range receipts {
+		if sr == nil {
+			return nil, errors.New("zkvm: assemble: nil segment receipt")
+		}
+		i := int(sr.Index)
+		if i >= n {
+			return nil, fmt.Errorf("zkvm: assemble: segment index %d with only %d receipts", i, n)
+		}
+		if ordered[i] != nil {
+			return nil, fmt.Errorf("zkvm: assemble: duplicate receipt for segment %d", i)
+		}
+		ordered[i] = sr
+	}
+	img := ordered[0].ImageID
+	for i, sr := range ordered {
+		if sr.ImageID != img {
+			return nil, fmt.Errorf("zkvm: assemble: segment %d image mismatch", i)
+		}
+		if sr.Final != (i == n-1) {
+			return nil, fmt.Errorf("zkvm: assemble: segment %d final flag %v in a %d-segment chain", i, sr.Final, n)
+		}
+		if i > 0 && ordered[i].Entry != ordered[i-1].Exit {
+			return nil, fmt.Errorf("zkvm: assemble: boundary %d entry/exit mismatch", i)
+		}
+	}
+	return &CompositeReceipt{Segments: ordered}, nil
+}
+
+// segMagic versions the standalone segment-receipt encoding — the unit
+// a farm worker ships back to the coordinator.
+const segMagic = 0x7a6b6633 // "zkf3"
+
+// MarshalSegmentReceipt encodes one segment receipt standalone. The
+// body layout is exactly the per-segment section of
+// CompositeReceipt.MarshalBinary, so an assembled composite carries the
+// same segment bytes the workers produced.
+func MarshalSegmentReceipt(sr *SegmentReceipt) ([]byte, error) {
+	w := &bwriter{}
+	w.u32(segMagic)
+	writeSegmentBody(w, sr)
+	return w.buf, nil
+}
+
+func writeSegmentBody(w *bwriter, sr *SegmentReceipt) {
+	w.raw(sr.ImageID[:])
+	w.u32(sr.Index)
+	w.flag(sr.Final)
+	w.u32(sr.ExitCode)
+	w.u32(uint32(len(sr.Journal)))
+	for _, j := range sr.Journal {
+		w.u32(j)
+	}
+	w.state(&sr.Entry)
+	w.state(&sr.Exit)
+	writeSeal(w, &sr.Seal)
+	w.u32(uint32(len(sr.ImportChecks)))
+	for i := range sr.ImportChecks {
+		w.opening(&sr.ImportChecks[i].MemProg)
+		w.opening(&sr.ImportChecks[i].Img)
+	}
+	w.u32(uint32(len(sr.ExitChecks)))
+	for i := range sr.ExitChecks {
+		e := &sr.ExitChecks[i]
+		w.opening(&e.Img)
+		w.u32(e.Pos)
+		w.opening(&e.SortP)
+		w.flag(e.HasP1)
+		if e.HasP1 {
+			w.opening(&e.SortP1)
+		}
+	}
+	w.u32(uint32(len(sr.CoverChecks)))
+	for i := range sr.CoverChecks {
+		cc := &sr.CoverChecks[i]
+		w.opening(&cc.EntryI)
+		w.flag(cc.HasJ)
+		if cc.HasJ {
+			w.opening(&cc.EntryJ)
+		}
+		w.flag(cc.HasImg)
+		if cc.HasImg {
+			w.u32(cc.ExitIdx)
+			w.opening(&cc.Img)
+		}
+	}
+}
+
+// UnmarshalSegmentReceipt decodes a standalone segment receipt.
+func UnmarshalSegmentReceipt(data []byte) (*SegmentReceipt, error) {
+	rd := &breader{buf: data}
+	if rd.u32() != segMagic {
+		return nil, errors.New("zkvm: bad segment receipt magic")
+	}
+	sr, err := readSegmentBody(rd, data)
+	if err != nil {
+		return nil, err
+	}
+	if rd.off != len(data) {
+		return nil, errors.New("zkvm: trailing bytes after segment receipt")
+	}
+	return sr, nil
+}
+
+func readSegmentBody(rd *breader, data []byte) (*SegmentReceipt, error) {
+	sr := &SegmentReceipt{}
+	copy(sr.ImageID[:], rd.raw(32))
+	sr.Index = rd.u32()
+	sr.Final = rd.flag()
+	sr.ExitCode = rd.u32()
+	nj := rd.u32()
+	if nj > uint32(len(data)) {
+		return nil, errTruncated
+	}
+	sr.Journal = make([]uint32, nj)
+	for i := range sr.Journal {
+		sr.Journal[i] = rd.u32()
+	}
+	sr.Entry = rd.state()
+	sr.Exit = rd.state()
+	readSeal(rd, &sr.Seal)
+	ni := rd.u32()
+	if ni > uint32(len(data)) {
+		return nil, errTruncated
+	}
+	sr.ImportChecks = make([]ImportCheck, ni)
+	for i := range sr.ImportChecks {
+		sr.ImportChecks[i].MemProg = rd.opening()
+		sr.ImportChecks[i].Img = rd.opening()
+	}
+	ne := rd.u32()
+	if ne > uint32(len(data)) {
+		return nil, errTruncated
+	}
+	sr.ExitChecks = make([]ExitCheck, ne)
+	for i := range sr.ExitChecks {
+		e := &sr.ExitChecks[i]
+		e.Img = rd.opening()
+		e.Pos = rd.u32()
+		e.SortP = rd.opening()
+		e.HasP1 = rd.flag()
+		if e.HasP1 {
+			e.SortP1 = rd.opening()
+		}
+	}
+	nc := rd.u32()
+	if nc > uint32(len(data)) {
+		return nil, errTruncated
+	}
+	sr.CoverChecks = make([]CoverCheck, nc)
+	for i := range sr.CoverChecks {
+		cc := &sr.CoverChecks[i]
+		cc.EntryI = rd.opening()
+		cc.HasJ = rd.flag()
+		if cc.HasJ {
+			cc.EntryJ = rd.opening()
+		}
+		cc.HasImg = rd.flag()
+		if cc.HasImg {
+			cc.ExitIdx = rd.u32()
+			cc.Img = rd.opening()
+		}
+	}
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	return sr, nil
+}

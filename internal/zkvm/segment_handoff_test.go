@@ -1,0 +1,205 @@
+package zkvm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// handoffProgram is a loop long enough to split into several segments
+// at the minimum segment size, touching memory so boundary images are
+// nonempty.
+func handoffProgram(t *testing.T) (*Program, []uint32) {
+	t.Helper()
+	a := NewAssembler()
+	a.ReadInput(2) // r2 = loop count
+	a.Li(3, 0)     // r3 = i
+	a.Li(4, 0)     // r4 = acc
+	a.Label("loop")
+	a.Add(4, 4, 3)
+	a.Sw(4, 3, 0) // mem[i] = acc
+	a.Addi(3, 3, 1)
+	a.Bltu(3, 2, "loop")
+	a.WriteJournal(4)
+	a.HaltCode(0)
+	return a.MustAssemble(), []uint32{60}
+}
+
+func handoffOpts() ProveOptions {
+	return ProveOptions{Checks: 4, SegmentCycles: minSegmentCycles, Parallelism: 1}
+}
+
+// TestSegmentRunMatchesSingleProver is the distributed-proving
+// contract: proving each segment independently through SegmentRun and
+// assembling yields byte-identical output to ProveSegmentedWithSeed
+// under the same master seed.
+func TestSegmentRunMatchesSingleProver(t *testing.T) {
+	prog, input := handoffProgram(t)
+	opts := handoffOpts()
+	seed := [32]byte{1, 2, 3, 4}
+
+	golden, err := ProveSegmentedWithSeed(prog, input, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden.NumSegments() < 2 {
+		t.Fatalf("want >=2 segments, got %d", golden.NumSegments())
+	}
+	goldenBytes, err := golden.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := PlanSegments(prog, input, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != golden.NumSegments() {
+		t.Fatalf("PlanSegments = %d, prover produced %d", n, golden.NumSegments())
+	}
+
+	// Prove each segment in its own run (as distinct workers would),
+	// round-tripping through the wire codec, in scrambled order.
+	var receipts []*SegmentReceipt
+	for i := n - 1; i >= 0; i-- {
+		run, err := NewSegmentRun(prog, input, opts, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := run.ProveSegment(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := MarshalSegmentReceipt(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalSegmentReceipt(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		receipts = append(receipts, back)
+		run.Release()
+	}
+	c, err := AssembleComposite(receipts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, goldenBytes) {
+		t.Fatal("assembled composite differs from single-prover bytes")
+	}
+	if err := VerifyComposite(prog, c, VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSegmentRunConcurrent proves all segments concurrently from one
+// shared run — the worker-cache shape — and checks determinism.
+func TestSegmentRunConcurrent(t *testing.T) {
+	prog, input := handoffProgram(t)
+	opts := handoffOpts()
+	seed := [32]byte{9}
+
+	golden, err := ProveSegmentedWithSeed(prog, input, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := NewSegmentRun(prog, input, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Release()
+	n := run.Segments()
+	receipts := make([]*SegmentReceipt, n)
+	errs := make([]error, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			receipts[i], errs[i] = run.ProveSegment(i)
+			done <- i
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("segment %d: %v", i, e)
+		}
+	}
+	c, err := AssembleComposite(receipts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.MarshalBinary()
+	want, _ := golden.MarshalBinary()
+	if !bytes.Equal(got, want) {
+		t.Fatal("concurrent segment proofs differ from single-prover bytes")
+	}
+}
+
+// TestAssembleCompositeRejects exercises the chain-shape validation.
+func TestAssembleCompositeRejects(t *testing.T) {
+	prog, input := handoffProgram(t)
+	opts := handoffOpts()
+	seed := [32]byte{7}
+	golden, err := ProveSegmentedWithSeed(prog, input, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := golden.Segments
+	if len(segs) < 3 {
+		t.Fatalf("want >=3 segments, got %d", len(segs))
+	}
+	if _, err := AssembleComposite(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := AssembleComposite(segs[:len(segs)-1]); err == nil {
+		t.Error("missing final segment accepted")
+	}
+	if _, err := AssembleComposite([]*SegmentReceipt{segs[0], segs[1], segs[1]}); err == nil {
+		t.Error("duplicate segment accepted")
+	}
+	if _, err := AssembleComposite(segs[1:]); err == nil {
+		t.Error("chain not starting at 0 accepted")
+	}
+	// Order independence: reversed input assembles fine.
+	rev := make([]*SegmentReceipt, len(segs))
+	for i, s := range segs {
+		rev[len(segs)-1-i] = s
+	}
+	if _, err := AssembleComposite(rev); err != nil {
+		t.Errorf("reversed order rejected: %v", err)
+	}
+}
+
+// TestProveWithSeedDeterministic pins the whole-job deterministic path.
+func TestProveWithSeedDeterministic(t *testing.T) {
+	a := NewAssembler()
+	a.ReadInput(R2)
+	a.ReadInput(R3)
+	a.Add(R4, R2, R3)
+	a.WriteJournal(R4)
+	a.HaltCode(0)
+	prog := a.MustAssemble()
+	seed := [32]byte{42}
+	r1, err := ProveWithSeed(prog, []uint32{20, 22}, ProveOptions{Checks: 4}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ProveWithSeed(prog, []uint32{20, 22}, ProveOptions{Checks: 4}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := r1.MarshalBinary()
+	b2, _ := r2.MarshalBinary()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("ProveWithSeed not deterministic")
+	}
+	if err := Verify(prog, r1, VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
