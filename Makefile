@@ -14,15 +14,16 @@ test:
 
 # Race lane: the packages that fan work out across goroutines — the
 # prover worker pool, the segmented (continuation) proving crew, the
-# epoch pipeline, the retrying remote dispatcher, the metrics
-# registry, the HTTP layer, the sharded UDP ingest pipeline, and the
-# checkpointing ledger plus the light-client sync that reads it.
+# parallel fold tree, the epoch pipeline, the retrying remote
+# dispatcher, the metrics registry, the HTTP layer, the sharded UDP
+# ingest pipeline, and the checkpointing ledger plus the light-client
+# sync that reads it.
 race:
-	$(GO) test -race ./internal/zkvm ./internal/core ./internal/api ./internal/remote ./internal/merkle ./internal/obs ./internal/ingest ./internal/ledger ./internal/lightsync
+	$(GO) test -race ./internal/zkvm ./internal/fold ./internal/core ./internal/api ./internal/remote ./internal/merkle ./internal/obs ./internal/ingest ./internal/ledger ./internal/lightsync
 
 # Fuzz lane: each network/storage-facing decoder gets a short
 # randomized run on top of its committed seed + regression corpus.
-# `go test -fuzz` takes one target per invocation, so this is seven
+# `go test -fuzz` takes one target per invocation, so this is eight
 # runs; budget with FUZZTIME (default 10s each).
 fuzz:
 	$(GO) test ./internal/netflow -run='^$$' -fuzz=FuzzWireCodecs -fuzztime=$(FUZZTIME)
@@ -31,6 +32,7 @@ fuzz:
 	$(GO) test ./internal/remote -run='^$$' -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/zkvm -run='^$$' -fuzz=FuzzDecodeProgram -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/zkvm -run='^$$' -fuzz=FuzzUnmarshalReceipt -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/fold -run='^$$' -fuzz=FuzzUnmarshalFolded -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/ingest -run='^$$' -fuzz=FuzzDatagram -fuzztime=$(FUZZTIME)
 
 # Farm lane: the prover-farm fault-injection suite, run twice — the
@@ -54,14 +56,14 @@ bench-parallel:
 # hash kernel, the Merkle arena build, and the fused prover pipeline.
 # Compare against the allocs/op recorded in EXPERIMENTS.md E14.
 # Finishes by regenerating the committed benchmark baseline
-# (BENCH_PR8.json: E1 sweep + stage split + E15 continuation sweep +
+# (BENCH_PR9.json: E1 sweep + stage split + E15 continuation sweep +
 # E16 ingest throughput sweep + E17 light-client sync + E18 prover
-# farm); gate a branch against it with
-# `zkflow-benchdiff BENCH_PR8.json fresh.json`.
+# farm + E19 recursive fold); gate a branch against it with
+# `zkflow-benchdiff BENCH_PR9.json fresh.json`.
 bench-commit:
 	$(GO) test -bench='HashLevel|Leaf2' -benchmem -run=^$$ ./internal/hashk
 	$(GO) test -bench='BuildHashes|Build1024' -benchmem -run=^$$ ./internal/merkle
 	$(GO) test -bench='ProveParallel/parallelism=1' -benchmem -run=^$$ .
-	$(GO) run ./cmd/zkflow-bench -json BENCH_PR8.json
+	$(GO) run ./cmd/zkflow-bench -json BENCH_PR9.json
 
 verify: build vet test race

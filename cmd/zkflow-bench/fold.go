@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"zkflow/internal/fold"
+	"zkflow/internal/guest"
+	"zkflow/internal/zkvm"
+)
+
+// FoldRow is one E19 measurement (the BENCH_PR*.json fold schema):
+// the same 2000-record aggregation proved as a continuation chain at
+// one segment length, then folded into a single bounded-size receipt.
+// The composite columns are the unfolded baseline at the same segment
+// count; the mono columns repeat the single-segment (segment_cycles=0)
+// receipt on every row so each row gates self-contained — the fold
+// target is fold_receipt_bytes <= 2x mono_receipt_bytes and
+// fold_verify_ms flat (within 20%) across segment counts.
+type FoldRow struct {
+	SegmentCycles    int     `json:"segment_cycles"`
+	Segments         int     `json:"segments"`
+	CompositeBytes   int     `json:"composite_bytes"`
+	CompositeVerMs   float64 `json:"composite_verify_ms"`
+	FoldProveMs      float64 `json:"fold_prove_ms"`
+	FoldReceiptBytes int     `json:"fold_receipt_bytes"`
+	FoldVerifyMs     float64 `json:"fold_verify_ms"`
+	MonoReceiptBytes int     `json:"mono_receipt_bytes"`
+	MonoVerifyMs     float64 `json:"mono_verify_ms"`
+}
+
+// expFold is the E19 experiment: receipt size and verify time of the
+// folded receipt vs. the unfolded composite as the segment count
+// grows. The composite's bytes and verify time scale with segments;
+// the fold's stay bounded — that flat line is the reproduction target.
+func expFold(checks int) []FoldRow {
+	fmt.Println("=== E19: recursive fold — receipt bytes + verify ms vs segment count (2000 records) ===")
+	in := genesisInput(int64(2000), 2000)
+	words := in.Words()
+	prog := guest.AggregationProgram()
+	par := runtime.GOMAXPROCS(0)
+
+	// Verify times are few-millisecond quantities and the flatness gate
+	// in zkflow-benchdiff is a 20% spread, so a single timing is too
+	// noisy to commit: take the best of a few runs, like testing.B
+	// would.
+	verifyMs := func(what string, r zkvm.AnyReceipt) float64 {
+		best := 0.0
+		for i := 0; i < 5; i++ {
+			t0 := time.Now()
+			if err := zkvm.VerifyAny(prog, r, zkvm.VerifyOptions{}); err != nil {
+				log.Fatalf("%s verify: %v", what, err)
+			}
+			if d := ms(time.Since(t0)); i == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	// Warm-up, then the single-segment baseline every row compares to.
+	if _, err := zkvm.Prove(prog, words, zkvm.ProveOptions{Checks: checks, Parallelism: par}); err != nil {
+		log.Fatal(err)
+	}
+	mono, err := zkvm.Prove(prog, words, zkvm.ProveOptions{Checks: checks, Parallelism: par})
+	if err != nil {
+		log.Fatal(err)
+	}
+	monoVer := verifyMs("mono", mono)
+	fmt.Printf("single-segment baseline: receipt %d B, verify %.1f ms\n", mono.Size(), monoVer)
+
+	var rows []FoldRow
+	fmt.Printf("%14s  %9s  %14s  %13s  %12s  %14s  %13s\n",
+		"segment-cycles", "segments", "composite", "comp verify", "fold prove", "folded", "fold verify")
+	for _, segCycles := range []int{1 << 18, 1 << 17, 1 << 16} {
+		receipt, err := zkvm.ProveAny(prog, words,
+			zkvm.ProveOptions{Checks: checks, SegmentCycles: segCycles, Parallelism: par})
+		if err != nil {
+			log.Fatal(err)
+		}
+		comp, ok := receipt.(*zkvm.CompositeReceipt)
+		if !ok {
+			log.Fatalf("segment-cycles %d: expected a composite receipt, got %T", segCycles, receipt)
+		}
+		compVer := verifyMs(fmt.Sprintf("segment-cycles %d: composite", segCycles), comp)
+
+		t0 := time.Now()
+		fr, err := fold.Fold(prog, comp, fold.Options{Parallelism: par})
+		if err != nil {
+			log.Fatalf("segment-cycles %d: fold: %v", segCycles, err)
+		}
+		foldProve := ms(time.Since(t0))
+		foldVer := verifyMs(fmt.Sprintf("segment-cycles %d: fold", segCycles), fr)
+
+		row := FoldRow{
+			SegmentCycles:    segCycles,
+			Segments:         comp.NumSegments(),
+			CompositeBytes:   comp.Size(),
+			CompositeVerMs:   compVer,
+			FoldProveMs:      foldProve,
+			FoldReceiptBytes: fr.Size(),
+			FoldVerifyMs:     foldVer,
+			MonoReceiptBytes: mono.Size(),
+			MonoVerifyMs:     monoVer,
+		}
+		rows = append(rows, row)
+		status := ""
+		if row.FoldReceiptBytes > 2*row.MonoReceiptBytes {
+			status = "  << above 2x mono target"
+		}
+		fmt.Printf("%14d  %9d  %12d B  %10.1f ms  %9.0f ms  %12d B  %10.1f ms%s\n",
+			segCycles, row.Segments, row.CompositeBytes, compVer, foldProve,
+			row.FoldReceiptBytes, foldVer, status)
+	}
+	fmt.Println()
+	return rows
+}

@@ -10,6 +10,7 @@
 //	-exp ingest       E16: sustained UDP/inject collector throughput (flows/sec)
 //	-exp lightsync    E17: light-client proof sync vs full audit (bytes + ms)
 //	-exp farm         E18: distributed prover farm speedup + failover recovery
+//	-exp fold         E19: folded receipt bytes + verify ms vs segment count
 //	-exp all          everything above
 //
 // Absolute numbers differ from the paper's Threadripper + RISC Zero
@@ -176,6 +177,7 @@ type BenchReport struct {
 	Ingest        []IngestRow    `json:"ingest,omitempty"`
 	LightSync     []LightSyncRow `json:"lightsync,omitempty"`
 	Farm          []FarmRow      `json:"farm,omitempty"`
+	Fold          []FoldRow      `json:"fold,omitempty"`
 }
 
 // numSegments reports the continuation segment count of a receipt (1
@@ -852,7 +854,7 @@ func kb(n int) float64           { return float64(n) / 1024 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|stages|continuations|ingest|lightsync|farm|all")
+		exp      = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|stages|continuations|ingest|lightsync|farm|fold|all")
 		checks   = flag.Int("checks", zkvm.DefaultChecks, "zkVM sampled checks per proof")
 		segCyc   = flag.Int("segment-cycles", 0, "prove sweep aggregations as continuation chains sliced every N cycles (0 = single-segment)")
 		csv      = flag.String("csv", "", "write the Figure 4 series as CSV to this path")
@@ -876,6 +878,7 @@ func main() {
 		report.Ingest = expIngest()
 		report.LightSync = expLightSync(*checks)
 		report.Farm = expFarm(*checks, *farmRecs)
+		report.Fold = expFold(*checks)
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			log.Fatalf("json: %v", err)
@@ -915,6 +918,8 @@ func main() {
 		expLightSync(*checks)
 	case "farm":
 		expFarm(*checks, *farmRecs)
+	case "fold":
+		expFold(*checks)
 	case "all":
 		expFig4(*checks, *segCyc, *csv)
 		expTable1(*checks)
@@ -928,6 +933,7 @@ func main() {
 		expIngest()
 		expLightSync(*checks)
 		expFarm(*checks, *farmRecs)
+		expFold(*checks)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -21,6 +21,7 @@ import (
 
 	"zkflow/internal/api"
 	"zkflow/internal/core"
+	"zkflow/internal/fold"
 	"zkflow/internal/zkvm"
 )
 
@@ -74,8 +75,11 @@ func main() {
 			log.Fatalf("round %d verification FAILED: %v", round, err)
 		}
 		form := "single-segment"
-		if c, ok := receipt.(*zkvm.CompositeReceipt); ok {
-			form = fmt.Sprintf("%d-segment composite", c.NumSegments())
+		switch r := receipt.(type) {
+		case *zkvm.CompositeReceipt:
+			form = fmt.Sprintf("%d-segment composite", r.NumSegments())
+		case *fold.FoldedReceipt:
+			form = fmt.Sprintf("folded, %d segments", r.Stmt.Segments)
 		}
 		fmt.Printf("round %d: epoch %d, %d records, %d flows, root %v — VERIFIED (%s) in %.1f ms\n",
 			round, j.Epoch, j.NumRecords, j.NewCount, j.NewRoot.Bytes(), form,

@@ -44,12 +44,14 @@ func main() {
 		pipeline = flag.Int("pipeline", 0, "pipeline depth: overlap witness generation with up to N in-flight seals (0 = serial)")
 		workers  = flag.Int("parallelism", 0, "prover worker-pool width (0 = all CPUs, 1 = serial)")
 		segCyc   = flag.Int("segment-cycles", 0, "prove aggregations as continuation chains sliced every N cycles (0 = single-segment)")
+		foldRcpt = flag.Bool("fold", false, "with -segment-cycles: fold each composite into one bounded-size receipt (O(1) verify regardless of segment count)")
 
 		debugAddr    = flag.String("debug-addr", "", "operator-only pprof+metrics listen address (empty = off; keep it loopback)")
 		metricsEvery = flag.Duration("metrics-every", 0, "log a metrics summary line at this interval (0 = off)")
 
 		ingestAddr    = flag.String("ingest-addr", "", "UDP collector listen address for NetFlow v9 / sFlow exports (empty = simulated collection)")
 		ingestShards  = flag.Int("ingest-shards", 4, "ingest worker shards (routers map to shards by ID)")
+		ingestSockets = flag.Int("ingest-sockets", 1, "SO_REUSEPORT UDP sockets on the collector port (Linux; >1 spreads datagrams across sockets)")
 		epochInterval = flag.Duration("epoch-interval", 5*time.Second, "epoch seal interval in ingest mode")
 		replayRecords = flag.Int("replay-records", 0, "self-replay this many records per router per epoch over UDP into the collector (demo/smoke mode)")
 	)
@@ -60,7 +62,10 @@ func main() {
 	// One registry carries the whole daemon: zkVM stage timings,
 	// scheduler gauges, and the HTTP layer, served at /api/v1/metrics.
 	reg := obs.NewRegistry()
-	opts := core.Options{Checks: *checks, Parallelism: *workers, SegmentCycles: *segCyc, PipelineDepth: *pipeline, Metrics: reg}
+	opts := core.Options{Checks: *checks, Parallelism: *workers, SegmentCycles: *segCyc, Fold: *foldRcpt, PipelineDepth: *pipeline, Metrics: reg}
+	if *foldRcpt && *segCyc <= 0 {
+		log.Printf("warning: -fold has no effect without -segment-cycles")
+	}
 	switch {
 	case *worker != "":
 		opts.Prove = remote.NewClient(*worker, nil).Prove
@@ -132,6 +137,7 @@ func main() {
 		pl, err := ingest.New(st, lg, ingest.Config{
 			Addr:          *ingestAddr,
 			Shards:        *ingestShards,
+			Sockets:       *ingestSockets,
 			EpochInterval: *epochInterval,
 			Metrics:       reg,
 			OnSeal: func(s ingest.Seal) {
@@ -191,7 +197,7 @@ func main() {
 				}
 			}()
 		}
-		log.Printf("ingest collector on udp://%s (%d shards, sealing every %v)", *ingestAddr, *ingestShards, *epochInterval)
+		log.Printf("ingest collector on udp://%s (%d sockets, %d shards, sealing every %v)", *ingestAddr, pl.Sockets(), *ingestShards, *epochInterval)
 		log.Printf("zkflowd listening on http://%s (ingest mode)", *listen)
 		httpSrv := &http.Server{
 			Addr:         *listen,

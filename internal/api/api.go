@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"zkflow/internal/core"
+	"zkflow/internal/fold"
 	"zkflow/internal/ledger"
 	"zkflow/internal/merkle"
 	"zkflow/internal/obs"
@@ -93,11 +94,39 @@ type EpochProofResponse struct {
 }
 
 // ReceiptHint names one aggregation round a light client may sample:
-// the round index to fetch, the epoch it sealed, and its wire size.
+// the round index to fetch, the epoch it sealed, its wire size, and
+// the receipt kind — "single" (one-segment zkvm receipt), "composite"
+// (continuation chain, size grows with segment count), or "folded"
+// (recursive aggregate, bounded size and O(1) verify regardless of
+// segment count). Clients budgeting a sampling pass use Kind+Bytes;
+// verification itself dispatches on the receipt's own magic.
 type ReceiptHint struct {
 	Round int    `json:"round"`
 	Epoch uint64 `json:"epoch"`
 	Bytes int    `json:"bytes"`
+	Kind  string `json:"kind"`
+}
+
+// Receipt kind labels served in sync hints.
+const (
+	ReceiptKindSingle    = "single"
+	ReceiptKindComposite = "composite"
+	ReceiptKindFolded    = "folded"
+	ReceiptKindOther     = "other" // future registered kinds
+)
+
+// receiptKindOf labels a receipt for the hints surface.
+func receiptKindOf(r zkvm.AnyReceipt) string {
+	switch r.(type) {
+	case *zkvm.Receipt:
+		return ReceiptKindSingle
+	case *zkvm.CompositeReceipt:
+		return ReceiptKindComposite
+	case *fold.FoldedReceipt:
+		return ReceiptKindFolded
+	default:
+		return ReceiptKindOther
+	}
 }
 
 // SyncHints is GET /api/v1/sync/hints: what a spot-checking client
@@ -156,6 +185,7 @@ type servedReceipt struct {
 	epoch uint64
 	bin   []byte
 	etag  string
+	kind  string
 }
 
 // Server serves the operator's public artifacts.
@@ -183,10 +213,11 @@ func NewServer(p *core.Prover, lg *ledger.Ledger) *Server {
 func (s *Server) UseRegistry(reg *obs.Registry) { s.metrics = reg }
 
 // AddAggregation registers a completed round's receipt for serving —
-// single-segment or a continuation composite; the wire format is the
-// receipt's own magic-tagged binary encoding either way. epoch is the
-// epoch the round sealed (AggregationResult.Epoch); it keys the
-// sync-hint and sampling surface.
+// single-segment, a continuation composite, or a folded aggregate;
+// the wire format is the receipt's own magic-tagged binary encoding
+// either way, served under a strong ETag with immutable caching.
+// epoch is the epoch the round sealed (AggregationResult.Epoch); it
+// keys the sync-hint and sampling surface.
 func (s *Server) AddAggregation(epoch uint64, r zkvm.AnyReceipt) error {
 	bin, err := r.MarshalBinary()
 	if err != nil {
@@ -198,6 +229,7 @@ func (s *Server) AddAggregation(epoch uint64, r zkvm.AnyReceipt) error {
 		epoch: epoch,
 		bin:   bin,
 		etag:  `"agg-` + hex.EncodeToString(sum[:12]) + `"`,
+		kind:  receiptKindOf(r),
 	})
 	s.mu.Unlock()
 	return nil
@@ -568,7 +600,7 @@ func (s *Server) handleSyncHints(w http.ResponseWriter, r *http.Request) {
 		if from >= 0 && rec.epoch <= uint64(from) {
 			continue
 		}
-		hints.Receipts = append(hints.Receipts, ReceiptHint{Round: i, Epoch: rec.epoch, Bytes: len(rec.bin)})
+		hints.Receipts = append(hints.Receipts, ReceiptHint{Round: i, Epoch: rec.epoch, Bytes: len(rec.bin), Kind: rec.kind})
 	}
 	s.mu.RUnlock()
 	// (1-0.1)^29 < 0.05: 29 uniform samples catch a >=10% tamper rate

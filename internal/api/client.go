@@ -348,7 +348,8 @@ func (c *Client) SyncHints(ctx context.Context, from int64) (*SyncHints, error) 
 
 // AggregationReceipt fetches round n's receipt: a *zkvm.Receipt for
 // single-segment rounds, a *zkvm.CompositeReceipt for continuation
-// rounds — dispatched on the receipt magic.
+// rounds, a *fold.FoldedReceipt for folded rounds — dispatched on the
+// receipt magic.
 func (c *Client) AggregationReceipt(ctx context.Context, n int) (zkvm.AnyReceipt, error) {
 	data, err := c.get(ctx, fmt.Sprintf("/api/v1/receipts/agg/%d", n))
 	if err != nil {

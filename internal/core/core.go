@@ -27,6 +27,8 @@ import (
 	"time"
 
 	"zkflow/internal/clog"
+	"zkflow/internal/fold"
+	"zkflow/internal/gperm"
 	"zkflow/internal/guest"
 	"zkflow/internal/ledger"
 	"zkflow/internal/obs"
@@ -64,6 +66,15 @@ type Options struct {
 	// keeps in flight: witness generation for epoch N+1 overlaps the
 	// seal computation of epoch N. 0 or 1 means no pipelining.
 	PipelineDepth int
+	// Fold, when set together with SegmentCycles, folds each
+	// aggregation round's composite receipt: the prover verifies every
+	// segment seal and the continuation linkage chain, then emits one
+	// bounded-size *fold.FoldedReceipt in its place. Auditors verify a
+	// folded round in O(1) — one fixed-size chain STARK — regardless of
+	// how many segments the round was proved in. When Farm also
+	// implements FoldBackend, the per-segment leaf verification fans
+	// out across the farm workers.
+	Fold bool
 	// Prove overrides the proving backend (nil = local zkvm.ProveAny).
 	// Takes precedence over Farm.
 	Prove ProveFunc
@@ -104,9 +115,35 @@ func (o Options) prove(prog *zkvm.Program, input []uint32) (zkvm.AnyReceipt, err
 	return o.proveWith(prog, input, o.proveOptions())
 }
 
+// maybeFold replaces a segmented composite receipt with its folded
+// form when Options.Fold is set. Single-segment receipts (and foreign
+// receipt kinds) pass through untouched. The leaf verification stage
+// runs on the farm when the configured Farm backend supports it,
+// otherwise locally with the prover's parallelism.
+func (p *Prover) maybeFold(prog *zkvm.Program, receipt zkvm.AnyReceipt) (zkvm.AnyReceipt, error) {
+	comp, ok := receipt.(*zkvm.CompositeReceipt)
+	if !p.opts.Fold || !ok {
+		return receipt, nil
+	}
+	span := p.met.span("fold")
+	defer span.End()
+	fopts := fold.Options{Parallelism: p.opts.Parallelism}
+	if fb, ok := p.opts.Farm.(FoldBackend); ok && p.opts.Prove == nil {
+		fopts.Leaves = func(pr *zkvm.Program, segs []*zkvm.SegmentReceipt) ([]gperm.Digest, error) {
+			return fb.FoldLeaves(context.Background(), pr, segs, fopts.Verify)
+		}
+	}
+	fr, err := fold.Fold(prog, comp, fopts)
+	if err != nil {
+		return nil, err
+	}
+	return fr, nil
+}
+
 // AggregationResult is one completed aggregation round. Receipt is a
-// *zkvm.Receipt in single-segment mode and a *zkvm.CompositeReceipt
-// when Options.SegmentCycles is set.
+// *zkvm.Receipt in single-segment mode, a *zkvm.CompositeReceipt
+// when Options.SegmentCycles is set, and a *fold.FoldedReceipt when
+// Options.Fold is set as well.
 type AggregationResult struct {
 	Epoch   uint64
 	Receipt zkvm.AnyReceipt
@@ -221,6 +258,10 @@ func (p *Prover) AggregateEpoch(epoch uint64) (res *AggregationResult, err error
 	receipt, err := p.opts.prove(guest.AggregationProgram(), agg.Words())
 	if err != nil {
 		return nil, fmt.Errorf("core: aggregation proof for epoch %d: %w", epoch, err)
+	}
+	receipt, err = p.maybeFold(guest.AggregationProgram(), receipt)
+	if err != nil {
+		return nil, fmt.Errorf("core: fold for epoch %d: %w", epoch, err)
 	}
 	j, err := guest.ParseAggJournal(receipt.JournalWords())
 	if err != nil {

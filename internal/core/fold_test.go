@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"zkflow/internal/fold"
+	"zkflow/internal/zkvm"
+)
+
+// TestFoldedAggregationEndToEnd: with Fold set, segmented aggregation
+// rounds produce one bounded-size folded receipt each, and the
+// verifier chains them exactly like composites — including under a
+// MinChecks floor, which the fold carries through as InnerChecks.
+func TestFoldedAggregationEndToEnd(t *testing.T) {
+	opts := Options{Checks: 6, SegmentCycles: 1 << 12, Fold: true}
+	p, v := segPipeline(t, 31, 2, 12, opts)
+	v.SetMinChecks(6)
+	for epoch := uint64(0); epoch < 2; epoch++ {
+		res, err := p.AggregateEpoch(epoch)
+		if err != nil {
+			t.Fatalf("aggregate epoch %d: %v", epoch, err)
+		}
+		fr, ok := res.Receipt.(*fold.FoldedReceipt)
+		if !ok {
+			t.Fatalf("epoch %d receipt is %T, want folded", epoch, res.Receipt)
+		}
+		if fr.NumSegments() < 2 {
+			t.Fatalf("epoch %d folded %d segments, want continuation chain", epoch, fr.Stmt.Segments)
+		}
+		j, err := v.VerifyAggregation(res.Receipt)
+		if err != nil {
+			t.Fatalf("verify epoch %d: %v", epoch, err)
+		}
+		if j.Epoch != uint32(epoch) {
+			t.Fatalf("journal epoch %d", j.Epoch)
+		}
+	}
+
+	// Queries stay single-segment and verify against the folded chain's
+	// trusted root.
+	qr, err := p.Query("SELECT SUM(hop_count) FROM clogs WHERE proto = 6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.VerifyQuery(qr.SQL, qr.Receipt); err != nil {
+		t.Fatalf("query after folded rounds: %v", err)
+	}
+}
+
+// TestFoldedSchedulerMatchesSerialJournals: the pipelined scheduler
+// folds in the seal stage; its committed journal chain matches the
+// serial fold path and every folded receipt verifies in order.
+func TestFoldedSchedulerMatchesSerialJournals(t *testing.T) {
+	opts := Options{Checks: 6, SegmentCycles: 1 << 12, Fold: true, PipelineDepth: 2}
+	serialP, _ := segPipeline(t, 32, 2, 10, Options{Checks: 6, SegmentCycles: 1 << 12, Fold: true})
+	var serial []*AggregationResult
+	for epoch := uint64(0); epoch < 2; epoch++ {
+		res, err := serialP.AggregateEpoch(epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = append(serial, res)
+	}
+
+	p, v := segPipeline(t, 32, 2, 10, opts)
+	results, err := p.AggregateEpochs([]uint64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if _, ok := res.Receipt.(*fold.FoldedReceipt); !ok {
+			t.Fatalf("round %d receipt is %T, want folded", i, res.Receipt)
+		}
+		if !journalWordsEqual(res.Receipt.JournalWords(), serial[i].Receipt.JournalWords()) {
+			t.Fatalf("round %d: pipelined journal differs from serial", i)
+		}
+		if _, err := v.VerifyAggregation(res.Receipt); err != nil {
+			t.Fatalf("verify pipelined round %d: %v", i, err)
+		}
+	}
+}
+
+// TestFoldWithoutSegmentsIsNoOp: Fold without SegmentCycles leaves the
+// single-segment receipt untouched.
+func TestFoldWithoutSegmentsIsNoOp(t *testing.T) {
+	p, v := segPipeline(t, 34, 1, 8, Options{Checks: 6, Fold: true})
+	res, err := p.AggregateEpoch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Receipt.(*zkvm.Receipt); !ok {
+		t.Fatalf("receipt is %T, want plain single-segment", res.Receipt)
+	}
+	if _, err := v.VerifyAggregation(res.Receipt); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -264,13 +264,24 @@ func (s *Scheduler) commitLoop() {
 // receipt whose slices seal concurrently.
 func (p *Prover) sealWitness(ex *zkvm.Execution, words []uint32) (zkvm.AnyReceipt, error) {
 	po := p.opts.proveOptions()
-	if p.opts.Prove != nil {
-		return p.opts.Prove(guest.AggregationProgram(), words, po)
+	var (
+		receipt zkvm.AnyReceipt
+		err     error
+	)
+	switch {
+	case p.opts.Prove != nil:
+		receipt, err = p.opts.Prove(guest.AggregationProgram(), words, po)
+	case po.SegmentCycles > 0:
+		receipt, err = zkvm.ProveSegmented(guest.AggregationProgram(), words, po)
+	default:
+		receipt, err = zkvm.ProveExecution(ex, po)
 	}
-	if po.SegmentCycles > 0 {
-		return zkvm.ProveSegmented(guest.AggregationProgram(), words, po)
+	if err != nil {
+		return nil, err
 	}
-	return zkvm.ProveExecution(ex, po)
+	// Folding rides in the concurrent seal stage, so its cost overlaps
+	// the next epochs' witness and seal work like sealing itself does.
+	return p.maybeFold(guest.AggregationProgram(), receipt)
 }
 
 // AggregateEpochs pipelines the given epochs (in chain order) through

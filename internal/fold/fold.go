@@ -1,0 +1,296 @@
+// Package fold collapses a multi-segment composite receipt into one
+// bounded-size FoldedReceipt with O(1) verification, independent of
+// how many segments the prover (or the prover farm) used.
+//
+// BENCH_PR5.json measures the problem: receipt size and verify time
+// are linear in segment count — 305 KB / 2.3 ms for a monolithic
+// receipt versus 5342 KB / 34 ms at 12 segments. A light client that
+// downloads the composite pays for every segment. The fold step runs
+// once, at the prover: it performs the full composite verification
+// (every segment seal plus the exit(i) == entry(i+1) linkage chain),
+// reduces each verified segment receipt to a leaf digest, folds the
+// leaves pairwise in a binary tree (⌈log2 N⌉ rounds), and binds the
+// resulting statement — image, exit code, journal, segment count,
+// minimum sampled-check count, fold root — to a fixed-length
+// fastagg-style chain STARK under a fold-specific Fiat–Shamir
+// transcript. The emitted receipt has constant size and constant
+// verify cost regardless of N.
+//
+// Soundness model. The chain STARK is the same verifiable
+// sequential-work commitment fastagg uses for aggregate roots: its
+// input is derived from the statement digest, so any mutation of the
+// folded statement (forged fold root, altered journal, exit code, or
+// check count) both changes the expected chain input and breaks the
+// transcript binding — a forger must redo the fold, including the
+// full composite verification, to emit a receipt that passes. The
+// leaf digests make the fold auditable: anyone holding the segment
+// receipts can recompute the tree root and compare (the farm
+// coordinator does exactly this for remotely digested leaves).
+// Downstream, the verifier's journal cross-checks against ledger
+// commitments (core.Verifier, lightsync) are unchanged and remain the
+// end-to-end backstop.
+package fold
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"zkflow/internal/fastagg"
+	"zkflow/internal/field"
+	"zkflow/internal/gperm"
+	"zkflow/internal/stark"
+	"zkflow/internal/transcript"
+	"zkflow/internal/zkvm"
+)
+
+// ChainRows is the fixed trace length of the binding chain STARK.
+// Fixing it makes FoldedReceipt size and verify time exact constants:
+// the proof covers ChainRows-1 permutation rounds no matter how many
+// segments were folded.
+const ChainRows = 512
+
+// foldSeedTag domain-separates the chain-input derivation from other
+// SeedFromRoot-style uses of the permutation.
+const foldSeedTag = 0x666f6c64 // "fold"
+
+// Statement is the public claim of a folded receipt: the composite's
+// public outputs plus the fold-tree root over its segment receipts.
+type Statement struct {
+	Image    zkvm.ImageID
+	ExitCode uint32
+	Journal  []uint32
+	// Segments is the number of inner segment receipts folded.
+	Segments uint32
+	// InnerChecks is the minimum sampled-check count across the inner
+	// seals; verifiers enforce VerifyOptions.MinChecks against it.
+	InnerChecks uint32
+	// Root is the pairwise fold of the segment receipt leaf digests.
+	Root gperm.Digest
+}
+
+// LeafDigest reduces one segment receipt to its fold-tree leaf: the
+// gperm hash of its canonical encoding. Any bit of the receipt —
+// seal, journal slice, boundary states, index — changes the leaf.
+func LeafDigest(sr *zkvm.SegmentReceipt) (gperm.Digest, error) {
+	raw, err := zkvm.MarshalSegmentReceipt(sr)
+	if err != nil {
+		return gperm.Digest{}, err
+	}
+	return gperm.HashBytes(raw), nil
+}
+
+// FoldDigests folds leaves pairwise into a single root in ⌈log2 N⌉
+// rounds. An odd tail node is promoted unchanged, so the schedule is
+// the standard left-balanced binary tree and the root is a pure
+// function of the ordered leaf sequence.
+func FoldDigests(leaves []gperm.Digest) gperm.Digest {
+	if len(leaves) == 0 {
+		return gperm.Digest{}
+	}
+	level := leaves
+	for len(level) > 1 {
+		next := make([]gperm.Digest, 0, (len(level)+1)/2)
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, gperm.HashTwo(level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// LeafFunc verifies the seal of every segment receipt and returns the
+// leaf digests in segment order. internal/remote provides a farm
+// implementation; the hook keeps fold free of a dependency on the
+// dispatch plane.
+type LeafFunc func(prog *zkvm.Program, segs []*zkvm.SegmentReceipt) ([]gperm.Digest, error)
+
+// Options configures a fold. The STARK parameters of the binding
+// chain proof are not configurable: the protocol pins
+// stark.DefaultParams so every verifier agrees on the proof shape.
+type Options struct {
+	// Verify is applied to every inner segment seal.
+	Verify zkvm.VerifyOptions
+	// Parallelism bounds the local leaf workers (verify + digest per
+	// segment). 0 means GOMAXPROCS.
+	Parallelism int
+	// Leaves, when set, runs the leaf stage remotely (e.g. on the
+	// prover farm). The returned digests are cross-checked locally, so
+	// a faulty worker cannot corrupt the fold root.
+	Leaves LeafFunc
+}
+
+// ErrReject wraps fold verification failures.
+var ErrReject = errors.New("fold: receipt rejected")
+
+// checkChain applies the chain-level composite rules locally: segment
+// indices and final flags, genesis entry, and exit(i) == entry(i+1)
+// linkage. Together with a per-segment seal check (local or farmed)
+// this is exactly zkvm.VerifyComposite.
+func checkChain(c *zkvm.CompositeReceipt) error {
+	n := len(c.Segments)
+	if n < 1 {
+		return fmt.Errorf("%w: composite receipt with no segments", ErrReject)
+	}
+	for i, sr := range c.Segments {
+		if int(sr.Index) != i {
+			return fmt.Errorf("%w: segment %d carries index %d", ErrReject, i, sr.Index)
+		}
+		if sr.Final != (i == n-1) {
+			return fmt.Errorf("%w: segment %d final flag %v in a %d-segment chain", ErrReject, i, sr.Final, n)
+		}
+	}
+	if c.Segments[0].Entry != zkvm.GenesisState() {
+		return fmt.Errorf("%w: segment 0 does not enter at the genesis state", ErrReject)
+	}
+	for i := 1; i < n; i++ {
+		if c.Segments[i].Entry != c.Segments[i-1].Exit {
+			return fmt.Errorf("%w: boundary %d: entry state does not match previous exit state", ErrReject, i)
+		}
+	}
+	return nil
+}
+
+// localLeaves verifies every segment seal and digests it, fanning the
+// per-segment work across workers. The output order is the segment
+// order regardless of completion order, so the fold root — and hence
+// the receipt bytes — are identical at any parallelism.
+func localLeaves(prog *zkvm.Program, segs []*zkvm.SegmentReceipt, opts Options) ([]gperm.Digest, error) {
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	leaves := make([]gperm.Digest, len(segs))
+	errs := make([]error, len(segs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := zkvm.VerifySegment(prog, segs[i], opts.Verify); err != nil {
+					errs[i] = err
+					continue
+				}
+				leaves[i], errs[i] = LeafDigest(segs[i])
+			}
+		}()
+	}
+	for i := range segs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d: %v", ErrReject, i, err)
+		}
+	}
+	return leaves, nil
+}
+
+// Fold verifies the composite in full and collapses it into a
+// FoldedReceipt. The per-segment seal checks (the expensive stage)
+// run locally in parallel or, via Options.Leaves, on the prover farm;
+// the chain rules, the fold tree, and the binding proof always run
+// locally. The receipt bytes are a pure function of the composite and
+// the STARK parameters — identical at any parallelism or worker
+// count.
+func Fold(prog *zkvm.Program, c *zkvm.CompositeReceipt, opts Options) (*FoldedReceipt, error) {
+	if err := checkChain(c); err != nil {
+		return nil, err
+	}
+	// Exit-code policy mirrors the composite verifier: refuse to fold
+	// a failed run unless the caller explicitly allows it.
+	exit := c.ExitStatus()
+	if exit != 0 && !opts.Verify.AllowNonZeroExit {
+		return nil, fmt.Errorf("%w: guest exit code %d", ErrReject, exit)
+	}
+
+	var leaves []gperm.Digest
+	var err error
+	if opts.Leaves != nil {
+		leaves, err = opts.Leaves(prog, c.Segments)
+		if err != nil {
+			return nil, fmt.Errorf("%w: leaf stage: %v", ErrReject, err)
+		}
+		if len(leaves) != len(c.Segments) {
+			return nil, fmt.Errorf("%w: leaf stage returned %d digests for %d segments", ErrReject, len(leaves), len(c.Segments))
+		}
+		// The digest is cheap to recompute; cross-check so a faulty
+		// worker cannot corrupt the fold root.
+		for i, sr := range c.Segments {
+			want, derr := LeafDigest(sr)
+			if derr != nil {
+				return nil, fmt.Errorf("%w: segment %d: %v", ErrReject, i, derr)
+			}
+			if leaves[i] != want {
+				return nil, fmt.Errorf("%w: segment %d: leaf digest mismatch from remote worker", ErrReject, i)
+			}
+		}
+	} else {
+		leaves, err = localLeaves(prog, c.Segments, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	inner := ^uint32(0)
+	for _, sr := range c.Segments {
+		if k := uint32(len(sr.Seal.ExecChecks)); k < inner {
+			inner = k
+		}
+	}
+
+	stmt := Statement{
+		Image:       c.Image(),
+		ExitCode:    exit,
+		Journal:     append([]uint32(nil), c.JournalWords()...),
+		Segments:    uint32(len(c.Segments)),
+		InnerChecks: inner,
+		Root:        FoldDigests(leaves),
+	}
+	proof, err := fastagg.ProveChain(chainInput(stmt), ChainRows, stark.DefaultParams, statementTranscript(stmt))
+	if err != nil {
+		return nil, fmt.Errorf("fold: chain proof: %w", err)
+	}
+	return &FoldedReceipt{Stmt: stmt, Chain: proof}, nil
+}
+
+// statementDigest canonically hashes the fold statement.
+func statementDigest(s Statement) gperm.Digest {
+	return gperm.HashBytes(encodeStatement(s))
+}
+
+// chainInput derives the binding chain's input state from the
+// statement digest, mirroring fastagg.SeedFromRoot.
+func chainInput(s Statement) gperm.State {
+	d := statementDigest(s)
+	var st gperm.State
+	copy(st[:gperm.DigestLen], d[:])
+	st[gperm.Width-1] = field.New(foldSeedTag)
+	st.Permute()
+	return st
+}
+
+// statementTranscript opens the fold Fiat–Shamir transcript and
+// absorbs the full public statement; fastagg layers the chain
+// statement on top.
+func statementTranscript(s Statement) *transcript.Transcript {
+	tr := transcript.New("fold-receipt-v1")
+	tr.Append("image", s.Image[:])
+	tr.AppendUint64("exit", uint64(s.ExitCode))
+	tr.Append("journal", journalBytes(s.Journal))
+	tr.AppendUint64("segments", uint64(s.Segments))
+	tr.AppendUint64("inner-checks", uint64(s.InnerChecks))
+	tr.AppendElems("fold-root", s.Root[:]...)
+	return tr
+}

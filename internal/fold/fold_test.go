@@ -1,0 +1,413 @@
+package fold
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"zkflow/internal/gperm"
+	"zkflow/internal/zkvm"
+)
+
+// foldTestProgram mirrors the zkVM segment-test guest: a loop whose
+// step count scales with the first input word, journaling a running
+// checksum, so moderate inputs cross several segment boundaries with
+// live memory and in-flight journal.
+func foldTestProgram(t testing.TB) *zkvm.Program {
+	t.Helper()
+	a := zkvm.NewAssembler()
+	a.ReadInput(3)
+	a.ReadInput(11)
+	a.Li(2, 0)
+	a.Li(7, 0)
+	a.Label("loop")
+	a.Bgeu(2, 3, "done")
+	a.Li(5, 2654435761)
+	a.Mul(5, 5, 2)
+	a.Add(5, 5, 11)
+	a.Andi(4, 2, 511)
+	a.Sw(5, 4, 0)
+	a.Lw(6, 4, 0)
+	a.Add(7, 7, 6)
+	a.Andi(10, 2, 255)
+	a.Bne(10, 0, "skipj")
+	a.WriteJournal(7)
+	a.Label("skipj")
+	a.Addi(2, 2, 1)
+	a.J("loop")
+	a.Label("done")
+	a.WriteJournal(7)
+	a.HaltCode(0)
+	prog, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+var foldTestSeed = [32]byte{0xf0, 0x1d, 0xf0, 0x1d, 7: 0x55, 23: 0xe1}
+
+// The shared composite is proved once: the adversarial tests mutate
+// deep copies (cloneComposite), never the cached receipt.
+var (
+	ctOnce sync.Once
+	ctComp *zkvm.CompositeReceipt
+	ctErr  error
+)
+
+func testComposite(t testing.TB, prog *zkvm.Program) *zkvm.CompositeReceipt {
+	t.Helper()
+	ctOnce.Do(func() {
+		ctComp, ctErr = zkvm.ProveSegmentedWithSeed(prog, []uint32{1200, 9},
+			zkvm.ProveOptions{Checks: 8, SegmentCycles: 1 << 11, Parallelism: 2}, foldTestSeed)
+	})
+	if ctErr != nil {
+		t.Fatal(ctErr)
+	}
+	if len(ctComp.Segments) < 3 {
+		t.Fatalf("want a multi-segment composite, got %d segments", len(ctComp.Segments))
+	}
+	return ctComp
+}
+
+func mustFold(t testing.TB, prog *zkvm.Program, c *zkvm.CompositeReceipt, opts Options) *FoldedReceipt {
+	t.Helper()
+	fr, err := Fold(prog, c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+// cloneComposite deep-copies a composite through its canonical
+// encoding so adversarial mutations cannot alias the original.
+func cloneComposite(t *testing.T, c *zkvm.CompositeReceipt) *zkvm.CompositeReceipt {
+	t.Helper()
+	raw, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := zkvm.UnmarshalComposite(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc
+}
+
+// TestFoldRoundTrip folds a composite, verifies the folded receipt,
+// round-trips it through the wire format and the AnyReceipt registry,
+// and checks that the public statement matches the composite.
+func TestFoldRoundTrip(t *testing.T) {
+	prog := foldTestProgram(t)
+	c := testComposite(t, prog)
+	fr := mustFold(t, prog, c, Options{})
+
+	if fr.Image() != c.Image() || fr.ExitStatus() != c.ExitStatus() {
+		t.Fatal("folded statement does not match the composite")
+	}
+	if !bytes.Equal(fr.JournalBytes(), c.JournalBytes()) {
+		t.Fatal("folded journal does not match the composite")
+	}
+	if fr.NumSegments() != len(c.Segments) {
+		t.Fatalf("folded receipt covers %d segments, composite has %d", fr.NumSegments(), len(c.Segments))
+	}
+	if err := zkvm.VerifyAny(prog, fr, zkvm.VerifyOptions{}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := zkvm.VerifyAny(prog, fr, zkvm.VerifyOptions{MinChecks: 8}); err != nil {
+		t.Fatalf("verify with MinChecks=8: %v", err)
+	}
+
+	raw, err := fr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != fr.Size() {
+		t.Fatalf("Size() = %d, encoded %d bytes", fr.Size(), len(raw))
+	}
+	any, err := zkvm.UnmarshalAnyReceipt(raw)
+	if err != nil {
+		t.Fatalf("registry decode: %v", err)
+	}
+	back, ok := any.(*FoldedReceipt)
+	if !ok {
+		t.Fatalf("registry decoded %T", any)
+	}
+	if err := zkvm.VerifyAny(prog, back, zkvm.VerifyOptions{}); err != nil {
+		t.Fatalf("verify after round-trip: %v", err)
+	}
+	raw2, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatal("re-encoding differs")
+	}
+
+	// The folded receipt must actually be small: a fraction of the
+	// composite it replaces.
+	if fr.Size() >= c.Size() {
+		t.Fatalf("folded receipt %d bytes, composite %d", fr.Size(), c.Size())
+	}
+}
+
+// TestFoldConstantSize: receipts folded from different segment counts
+// have (near-)identical size — the proof covers the same fixed-length
+// chain either way; only Fiat–Shamir query deduplication wiggles the
+// opening count by a percent or two.
+func TestFoldConstantSize(t *testing.T) {
+	prog := foldTestProgram(t)
+	sizes := map[int]int{}
+	for _, segCycles := range []int{1 << 11, 1 << 12} {
+		c, err := zkvm.ProveSegmentedWithSeed(prog, []uint32{1200, 9},
+			zkvm.ProveOptions{Checks: 8, SegmentCycles: segCycles}, foldTestSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr := mustFold(t, prog, c, Options{})
+		sizes[len(c.Segments)] = fr.Size()
+	}
+	if len(sizes) < 2 {
+		t.Skip("segment counts coincided")
+	}
+	lo, hi := 0, 0
+	for _, s := range sizes {
+		if lo == 0 || s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if float64(hi-lo) > 0.05*float64(lo) {
+		t.Fatalf("folded sizes not bounded across segment counts: %v", sizes)
+	}
+}
+
+// TestFoldDeterministic: the folded receipt bytes are identical at
+// any leaf parallelism and with a leaf hook standing in for a farm.
+func TestFoldDeterministic(t *testing.T) {
+	prog := foldTestProgram(t)
+	c := testComposite(t, prog)
+	base, err := mustFold(t, prog, c, Options{Parallelism: 1}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 3, 8} {
+		raw, err := mustFold(t, prog, c, Options{Parallelism: par}).MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(base, raw) {
+			t.Fatalf("folded receipt differs at parallelism %d", par)
+		}
+	}
+	// A remote leaf stage (any worker count) must yield the same bytes.
+	hook := func(p *zkvm.Program, segs []*zkvm.SegmentReceipt) ([]gperm.Digest, error) {
+		out := make([]gperm.Digest, len(segs))
+		for i := len(segs) - 1; i >= 0; i-- { // any completion order
+			if err := zkvm.VerifySegment(p, segs[i], zkvm.VerifyOptions{}); err != nil {
+				return nil, err
+			}
+			d, err := LeafDigest(segs[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = d
+		}
+		return out, nil
+	}
+	raw, err := mustFold(t, prog, c, Options{Leaves: hook}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(base, raw) {
+		t.Fatal("folded receipt differs with remote leaf stage")
+	}
+}
+
+// TestFoldRejectsTamperedSegment: any bit flipped in an inner segment
+// seal makes Fold refuse to emit a receipt.
+func TestFoldRejectsTamperedSegment(t *testing.T) {
+	prog := foldTestProgram(t)
+	c := testComposite(t, prog)
+	cc := cloneComposite(t, c)
+	cc.Segments[1].Seal.ExecRoot[3] ^= 1
+	if _, err := Fold(prog, cc, Options{}); err == nil {
+		t.Fatal("fold accepted a tampered segment seal")
+	}
+	cc = cloneComposite(t, c)
+	cc.Segments[1].Journal = append([]uint32{}, cc.Segments[1].Journal...)
+	if len(cc.Segments[1].Journal) == 0 {
+		cc.Segments[1].Journal = []uint32{7}
+	} else {
+		cc.Segments[1].Journal[0] ^= 1
+	}
+	if _, err := Fold(prog, cc, Options{}); err == nil {
+		t.Fatal("fold accepted a tampered segment journal")
+	}
+}
+
+// TestFoldRejectsReorderedSegments: swapping two segments breaks the
+// index rule and must be refused.
+func TestFoldRejectsReorderedSegments(t *testing.T) {
+	prog := foldTestProgram(t)
+	cc := cloneComposite(t, testComposite(t, prog))
+	cc.Segments[0], cc.Segments[1] = cc.Segments[1], cc.Segments[0]
+	if _, err := Fold(prog, cc, Options{}); err == nil {
+		t.Fatal("fold accepted reordered segments")
+	}
+}
+
+// TestFoldRejectsDroppedSegment: removing an interior segment breaks
+// the chain and must be refused.
+func TestFoldRejectsDroppedSegment(t *testing.T) {
+	prog := foldTestProgram(t)
+	cc := cloneComposite(t, testComposite(t, prog))
+	cc.Segments = append(cc.Segments[:1], cc.Segments[2:]...)
+	if _, err := Fold(prog, cc, Options{}); err == nil {
+		t.Fatal("fold accepted a dropped segment")
+	}
+}
+
+// TestFoldRejectsBrokenLinkage: an entry state that does not match
+// the previous exit state must be refused.
+func TestFoldRejectsBrokenLinkage(t *testing.T) {
+	prog := foldTestProgram(t)
+	cc := cloneComposite(t, testComposite(t, prog))
+	cc.Segments[1].Entry.PC ^= 1
+	if _, err := Fold(prog, cc, Options{}); err == nil {
+		t.Fatal("fold accepted a broken linkage chain")
+	}
+}
+
+// TestFoldRejectsLyingLeafStage: a leaf hook returning wrong digests
+// (a faulty or malicious farm worker) is caught by the local
+// cross-check.
+func TestFoldRejectsLyingLeafStage(t *testing.T) {
+	prog := foldTestProgram(t)
+	c := testComposite(t, prog)
+	hook := func(p *zkvm.Program, segs []*zkvm.SegmentReceipt) ([]gperm.Digest, error) {
+		out := make([]gperm.Digest, len(segs))
+		for i := range segs {
+			d, err := LeafDigest(segs[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = d
+		}
+		out[1][0] ^= 1 // one corrupted digest
+		return out, nil
+	}
+	if _, err := Fold(prog, c, Options{Leaves: hook}); err == nil {
+		t.Fatal("fold accepted a corrupted leaf digest")
+	}
+	short := func(p *zkvm.Program, segs []*zkvm.SegmentReceipt) ([]gperm.Digest, error) {
+		return make([]gperm.Digest, len(segs)-1), nil
+	}
+	if _, err := Fold(prog, c, Options{Leaves: short}); err == nil {
+		t.Fatal("fold accepted a short leaf vector")
+	}
+}
+
+// TestVerifyRejectsForgedStatement: mutating any field of a folded
+// receipt's statement — fold root, journal, exit code, segment count,
+// inner checks, image — must make verification fail, because the
+// chain input and the Fiat–Shamir transcript both bind the statement.
+func TestVerifyRejectsForgedStatement(t *testing.T) {
+	prog := foldTestProgram(t)
+	c := testComposite(t, prog)
+	fr := mustFold(t, prog, c, Options{})
+	raw, err := fr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(name string, f func(r *FoldedReceipt)) {
+		any, err := zkvm.UnmarshalAnyReceipt(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := any.(*FoldedReceipt)
+		f(m)
+		if err := zkvm.VerifyAny(prog, m, zkvm.VerifyOptions{}); err == nil {
+			t.Fatalf("%s: forged statement accepted", name)
+		} else if !errors.Is(err, ErrReject) {
+			t.Fatalf("%s: rejection not wrapped in ErrReject: %v", name, err)
+		}
+	}
+	mutate("fold root", func(r *FoldedReceipt) { r.Stmt.Root[0] ^= 1 })
+	mutate("journal word", func(r *FoldedReceipt) { r.Stmt.Journal[0] ^= 1 })
+	mutate("journal extended", func(r *FoldedReceipt) { r.Stmt.Journal = append(r.Stmt.Journal, 1) })
+	mutate("exit code", func(r *FoldedReceipt) {
+		r.Stmt.ExitCode = 3 // also needs AllowNonZeroExit, but binding must fail first on allow-all
+	})
+	mutate("segment count", func(r *FoldedReceipt) { r.Stmt.Segments++ })
+	mutate("inner checks inflated", func(r *FoldedReceipt) { r.Stmt.InnerChecks++ })
+	mutate("image", func(r *FoldedReceipt) { r.Stmt.Image[5] ^= 1 })
+	mutate("chain input", func(r *FoldedReceipt) { r.Chain.Stmt.Input[0] ^= 1 })
+	mutate("chain output", func(r *FoldedReceipt) { r.Chain.Stmt.Output[0] ^= 1 })
+	mutate("chain truncated", func(r *FoldedReceipt) {
+		r.Chain.Stmt.N = ChainRows / 2
+		r.Chain.Stark.N = ChainRows / 2
+	})
+}
+
+// TestVerifyRejectsExitAndChecksPolicy: policy rejections that do not
+// require forgery — a nonzero exit without AllowNonZeroExit, and an
+// honest InnerChecks below the verifier's MinChecks.
+func TestVerifyRejectsExitAndChecksPolicy(t *testing.T) {
+	prog := foldTestProgram(t)
+	c := testComposite(t, prog)
+	fr := mustFold(t, prog, c, Options{})
+	if err := zkvm.VerifyAny(prog, fr, zkvm.VerifyOptions{MinChecks: int(fr.Stmt.InnerChecks) + 1}); err == nil {
+		t.Fatal("MinChecks above InnerChecks accepted")
+	}
+}
+
+// TestFoldDigestsSchedule pins the tree schedule: pairwise with odd
+// tail promotion, ⌈log2 N⌉ rounds.
+func TestFoldDigestsSchedule(t *testing.T) {
+	d := func(i byte) gperm.Digest { return gperm.HashBytes([]byte{i}) }
+	l0, l1, l2 := d(0), d(1), d(2)
+	want := gperm.HashTwo(gperm.HashTwo(l0, l1), l2)
+	if got := FoldDigests([]gperm.Digest{l0, l1, l2}); got != want {
+		t.Fatal("3-leaf fold does not promote the odd tail")
+	}
+	if got := FoldDigests([]gperm.Digest{l0}); got != l0 {
+		t.Fatal("1-leaf fold must be the leaf itself")
+	}
+	want5 := gperm.HashTwo(
+		gperm.HashTwo(gperm.HashTwo(l0, l1), gperm.HashTwo(l2, l0)), l1)
+	if got := FoldDigests([]gperm.Digest{l0, l1, l2, l0, l1}); got != want5 {
+		t.Fatal("5-leaf fold schedule mismatch")
+	}
+}
+
+// TestUnmarshalFoldedRejectsGarbage covers decoder robustness paths
+// directly (the fuzz target explores further).
+func TestUnmarshalFoldedRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalFolded(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	if _, err := UnmarshalFolded([]byte{0x34, 0x66, 0x6b, 0x7a}); err == nil {
+		t.Fatal("magic-only input accepted")
+	}
+	if _, err := UnmarshalFolded([]byte("not a receipt")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	prog := foldTestProgram(t)
+	fr := mustFold(t, prog, testComposite(t, prog), Options{})
+	raw, err := fr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, len(raw) / 2, len(raw) - 1} {
+		if _, err := UnmarshalFolded(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := UnmarshalFolded(append(append([]byte{}, raw...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}

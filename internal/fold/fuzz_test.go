@@ -1,0 +1,60 @@
+package fold
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"zkflow/internal/fastagg"
+	"zkflow/internal/fri"
+	"zkflow/internal/stark"
+	"zkflow/internal/zkvm"
+)
+
+// FuzzUnmarshalFolded: the folded receipt decoder is total — it never
+// panics, never over-allocates past the input length, and anything it
+// accepts re-encodes to the same bytes.
+func FuzzUnmarshalFolded(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a receipt"))
+	magic := binary.LittleEndian.AppendUint32(nil, foldMagic)
+	f.Add(magic)
+	f.Add(append(append([]byte{}, magic...), bytes.Repeat([]byte{0}, 128)...))
+	f.Add(append(append([]byte{}, magic...), bytes.Repeat([]byte{0xff}, 64)...))
+
+	// One structurally valid receipt (bogus proof contents, canonical
+	// field elements) so the corpus reaches the deep decode paths.
+	seed := &FoldedReceipt{
+		Stmt: Statement{
+			Image:       zkvm.ImageID{1, 2, 3},
+			ExitCode:    0,
+			Journal:     []uint32{7, 9},
+			Segments:    3,
+			InnerChecks: 8,
+		},
+		Chain: &fastagg.Proof{
+			Stmt:  fastagg.Statement{N: ChainRows},
+			Stark: &stark.Proof{N: ChainRows, Fri: &fri.Proof{Positions: []int{1, 2}}},
+		},
+	}
+	if raw, err := seed.MarshalBinary(); err == nil {
+		f.Add(raw)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalFolded(data)
+		if err != nil {
+			return
+		}
+		raw, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted receipt failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(raw, data) {
+			t.Fatal("accepted receipt did not round-trip byte-identically")
+		}
+		if r.Size() != len(data) {
+			t.Fatalf("Size() = %d, input %d bytes", r.Size(), len(data))
+		}
+	})
+}

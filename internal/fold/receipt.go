@@ -1,0 +1,85 @@
+package fold
+
+import (
+	"fmt"
+
+	"zkflow/internal/fastagg"
+	"zkflow/internal/stark"
+	"zkflow/internal/zkvm"
+)
+
+// FoldedReceipt is the constant-size product of folding a composite:
+// the public statement plus the binding chain proof. It implements
+// zkvm.AnyReceipt (and zkvm.SelfVerifier), so the ledger, the HTTP
+// API, and the light client handle it like any other receipt kind.
+type FoldedReceipt struct {
+	Stmt  Statement
+	Chain *fastagg.Proof
+}
+
+func init() {
+	zkvm.RegisterReceiptKind(foldMagic, func(data []byte) (zkvm.AnyReceipt, error) {
+		return UnmarshalFolded(data)
+	})
+}
+
+// Image implements zkvm.AnyReceipt.
+func (r *FoldedReceipt) Image() zkvm.ImageID { return r.Stmt.Image }
+
+// ExitStatus implements zkvm.AnyReceipt.
+func (r *FoldedReceipt) ExitStatus() uint32 { return r.Stmt.ExitCode }
+
+// JournalWords implements zkvm.AnyReceipt.
+func (r *FoldedReceipt) JournalWords() []uint32 { return r.Stmt.Journal }
+
+// JournalBytes implements zkvm.AnyReceipt.
+func (r *FoldedReceipt) JournalBytes() []byte { return journalBytes(r.Stmt.Journal) }
+
+// SealSize implements zkvm.AnyReceipt: the binding proof's size.
+func (r *FoldedReceipt) SealSize() int {
+	if r.Chain == nil {
+		return 0
+	}
+	return r.Chain.Size()
+}
+
+// Size implements zkvm.AnyReceipt.
+func (r *FoldedReceipt) Size() int { return encodedSize(r) }
+
+// NumSegments returns how many inner segment receipts were folded.
+func (r *FoldedReceipt) NumSegments() int { return int(r.Stmt.Segments) }
+
+// VerifyReceipt implements zkvm.SelfVerifier. It is O(1): the cost is
+// one fixed-length chain STARK verification plus statement hashing,
+// independent of how many segments were folded.
+func (r *FoldedReceipt) VerifyReceipt(prog *zkvm.Program, opts zkvm.VerifyOptions) error {
+	if prog.ID() != r.Stmt.Image {
+		return fmt.Errorf("%w: image ID mismatch: receipt %v, program %v", ErrReject, r.Stmt.Image, prog.ID())
+	}
+	if r.Stmt.ExitCode != 0 && !opts.AllowNonZeroExit {
+		return fmt.Errorf("%w: guest exit code %d", ErrReject, r.Stmt.ExitCode)
+	}
+	if r.Stmt.Segments < 1 {
+		return fmt.Errorf("%w: folded receipt covers no segments", ErrReject)
+	}
+	if int(r.Stmt.InnerChecks) < opts.MinChecks {
+		return fmt.Errorf("%w: inner seals carry %d sampled checks, verifier requires %d",
+			ErrReject, r.Stmt.InnerChecks, opts.MinChecks)
+	}
+	if r.Chain == nil {
+		return fmt.Errorf("%w: missing chain proof", ErrReject)
+	}
+	if r.Chain.Stmt.N != ChainRows {
+		return fmt.Errorf("%w: chain length %d, protocol fixes %d", ErrReject, r.Chain.Stmt.N, ChainRows)
+	}
+	// The chain input must derive from this exact statement: a proof
+	// lifted from a different statement fails here, and a mutated
+	// statement also breaks the transcript binding below.
+	if r.Chain.Stmt.Input != chainInput(r.Stmt) {
+		return fmt.Errorf("%w: chain input does not bind the statement", ErrReject)
+	}
+	if err := fastagg.VerifyChain(r.Chain, stark.DefaultParams, statementTranscript(r.Stmt)); err != nil {
+		return fmt.Errorf("%w: %v", ErrReject, err)
+	}
+	return nil
+}

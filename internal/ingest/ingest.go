@@ -46,9 +46,16 @@ type Config struct {
 	// QueueDepth is the per-shard queue capacity in decoded batches; a
 	// full queue drops (default 1024).
 	QueueDepth int
-	// Readers is the number of UDP reader goroutines sharing the
+	// Readers is the number of UDP reader goroutines sharing each
 	// socket (default 2; ignored without Addr).
 	Readers int
+	// Sockets is the number of UDP sockets bound to Addr with
+	// SO_REUSEPORT (default 1). With more than one socket the Linux
+	// kernel hash-balances inbound datagrams across them, taking the
+	// single-socket receive lock off the line-rate path; each socket
+	// runs its own Readers goroutines. On platforms without
+	// SO_REUSEPORT the count clamps to one socket.
+	Sockets int
 	// EpochInterval seals an epoch on this period. Zero disables the
 	// internal ticker: epochs advance only on explicit Seal calls.
 	EpochInterval time.Duration
@@ -105,7 +112,7 @@ type Pipeline struct {
 	st  *store.Store
 	lg  *ledger.Ledger
 
-	conn   net.PacketConn
+	conns  []net.PacketConn
 	shards []*shard
 	v9dec  *netflow.V9Decoder
 
@@ -130,6 +137,8 @@ type Pipeline struct {
 	dropLedger   *obs.Counter // ingest.records_dropped.ledger
 	epochsSealed *obs.Counter // ingest.epochs_sealed
 	v9Misses     *obs.Gauge   // ingest.v9_template_misses
+	gSockets     *obs.Gauge   // ingest.sockets
+	gReaders     *obs.Gauge   // ingest.readers
 	commitSec    *obs.Histogram
 }
 
@@ -145,6 +154,9 @@ func New(st *store.Store, lg *ledger.Ledger, cfg Config) (*Pipeline, error) {
 	}
 	if cfg.Readers <= 0 {
 		cfg.Readers = 2
+	}
+	if cfg.Sockets <= 0 || !reusePortSupported {
+		cfg.Sockets = 1
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -167,6 +179,8 @@ func New(st *store.Store, lg *ledger.Ledger, cfg Config) (*Pipeline, error) {
 		dropLedger:   reg.Counter("ingest.records_dropped.ledger"),
 		epochsSealed: reg.Counter("ingest.epochs_sealed"),
 		v9Misses:     reg.Gauge("ingest.v9_template_misses"),
+		gSockets:     reg.Gauge("ingest.sockets"),
+		gReaders:     reg.Gauge("ingest.readers"),
 		commitSec:    reg.Histogram("ingest.commit_seconds", obs.DefaultLatencyBuckets),
 	}
 	for i := 0; i < cfg.Shards; i++ {
@@ -180,23 +194,45 @@ func New(st *store.Store, lg *ledger.Ledger, cfg Config) (*Pipeline, error) {
 		})
 	}
 	if cfg.Addr != "" {
-		conn, err := net.ListenPacket("udp", cfg.Addr)
+		// More than one socket needs SO_REUSEPORT set on every socket
+		// (the first included) before bind, so they all go through the
+		// reuse-port listener. A ":0" address resolves on the first bind;
+		// the rest join the concrete port it picked.
+		listen := net.ListenPacket
+		if cfg.Sockets > 1 {
+			listen = func(_, addr string) (net.PacketConn, error) { return listenReusePort(addr) }
+		}
+		first, err := listen("udp", cfg.Addr)
 		if err != nil {
 			return nil, fmt.Errorf("ingest: listen %s: %w", cfg.Addr, err)
 		}
-		p.conn = conn
+		p.conns = append(p.conns, first)
+		for i := 1; i < cfg.Sockets; i++ {
+			c, err := listenReusePort(first.LocalAddr().String())
+			if err != nil {
+				for _, open := range p.conns {
+					open.Close()
+				}
+				return nil, fmt.Errorf("ingest: reuseport socket %d on %s: %w", i, first.LocalAddr(), err)
+			}
+			p.conns = append(p.conns, c)
+		}
 	}
 	return p, nil
 }
 
 // Addr returns the bound UDP address (nil without a socket) — useful
-// with ":0" listeners.
+// with ":0" listeners. With Sockets > 1 every socket shares this
+// address.
 func (p *Pipeline) Addr() net.Addr {
-	if p.conn == nil {
+	if len(p.conns) == 0 {
 		return nil
 	}
-	return p.conn.LocalAddr()
+	return p.conns[0].LocalAddr()
 }
+
+// Sockets returns the number of bound UDP sockets (0 without Addr).
+func (p *Pipeline) Sockets() int { return len(p.conns) }
 
 // Epoch returns the epoch currently accepting records.
 func (p *Pipeline) Epoch() uint64 {
@@ -221,10 +257,12 @@ func (p *Pipeline) Start() error {
 		p.workersWG.Add(1)
 		go p.worker(s)
 	}
-	if p.conn != nil {
+	p.gSockets.Set(int64(len(p.conns)))
+	p.gReaders.Set(int64(len(p.conns) * p.cfg.Readers))
+	for _, conn := range p.conns {
 		for i := 0; i < p.cfg.Readers; i++ {
 			p.readersWG.Add(1)
-			go p.reader()
+			go p.reader(conn)
 		}
 	}
 	if p.cfg.EpochInterval > 0 {
@@ -247,12 +285,12 @@ func (p *Pipeline) Start() error {
 	return nil
 }
 
-// reader pulls datagrams off the socket until the conn closes.
-func (p *Pipeline) reader() {
+// reader pulls datagrams off one socket until the conn closes.
+func (p *Pipeline) reader(conn net.PacketConn) {
 	defer p.readersWG.Done()
 	buf := make([]byte, 1<<16)
 	for {
-		n, _, err := p.conn.ReadFrom(buf)
+		n, _, err := conn.ReadFrom(buf)
 		if n > 0 {
 			p.Inject(buf[:n])
 		}
@@ -443,8 +481,10 @@ func (p *Pipeline) Close() error {
 		close(p.tickerStop)
 		p.tickerWG.Wait()
 	}
-	if p.conn != nil {
-		p.conn.Close()
+	if len(p.conns) > 0 {
+		for _, conn := range p.conns {
+			conn.Close()
+		}
 		p.readersWG.Wait()
 	}
 	if started {

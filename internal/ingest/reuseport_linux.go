@@ -1,0 +1,36 @@
+//go:build linux
+
+package ingest
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// reusePortSupported gates Config.Sockets > 1: only Linux guarantees
+// SO_REUSEPORT datagram load-balancing (kernel >= 3.9 hashes the
+// 4-tuple across every socket bound to the port).
+const reusePortSupported = true
+
+// soReusePort is SO_REUSEPORT on Linux. The frozen syscall package
+// predates the option, so the constant lives here.
+const soReusePort = 0xf
+
+// listenReusePort binds one UDP socket to addr with SO_REUSEPORT set
+// before bind, so any number of sockets can share the port and the
+// kernel spreads inbound datagrams across them.
+func listenReusePort(addr string) (net.PacketConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	return lc.ListenPacket(context.Background(), "udp", addr)
+}

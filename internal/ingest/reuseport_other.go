@@ -1,0 +1,14 @@
+//go:build !linux
+
+package ingest
+
+import "net"
+
+// Without SO_REUSEPORT semantics the pipeline clamps to one socket;
+// listenReusePort degrades to a plain bind so the single-socket path
+// is identical on every platform.
+const reusePortSupported = false
+
+func listenReusePort(addr string) (net.PacketConn, error) {
+	return net.ListenPacket("udp", addr)
+}

@@ -309,3 +309,44 @@ func TestSyncCacheRevalidation(t *testing.T) {
 		t.Fatal("no cache revalidations on a warm re-sync")
 	}
 }
+
+// TestSyncFoldedReceipts: a light client syncs an operator that folds
+// its segmented rounds — sampled rounds arrive as bounded-size folded
+// receipts, verify under the MinChecks floor, and advance the pin.
+func TestSyncFoldedReceipts(t *testing.T) {
+	st := store.Open(0)
+	lg := ledger.New()
+	sim := router.NewSim(trafficgen.Config{Seed: 11, NumFlows: 32, Routers: 2}, st, lg)
+	prover := core.NewProver(st, lg, core.Options{Checks: 6, SegmentCycles: 1 << 12, Fold: true})
+	srv := api.NewServer(prover, lg)
+	op := &operator{sim: sim, prover: prover, srv: srv, lg: lg}
+	op.ts = httptest.NewServer(srv.Handler())
+	t.Cleanup(op.ts.Close)
+	op.advance(t, 3)
+
+	c := op.client()
+	hints, err := c.SyncHints(context.Background(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hints.Receipts) != 3 {
+		t.Fatalf("hints list %d rounds, want 3", len(hints.Receipts))
+	}
+	for _, h := range hints.Receipts {
+		if h.Kind != api.ReceiptKindFolded {
+			t.Fatalf("round %d kind %q, want folded", h.Round, h.Kind)
+		}
+	}
+
+	pin := op.pinAt(t, 0)
+	rep, err := Sync(context.Background(), c, pin, Options{Samples: 2, Seed: 13, MinChecks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SampledRounds) != 2 {
+		t.Fatalf("sampled %v", rep.SampledRounds)
+	}
+	if pin.Checkpoint.Epoch != 2 {
+		t.Fatalf("pin not advanced: %+v", pin.Checkpoint)
+	}
+}

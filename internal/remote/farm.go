@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"zkflow/internal/gperm"
 	"zkflow/internal/obs"
 	"zkflow/internal/zkvm"
 )
@@ -47,7 +48,8 @@ type FarmConfig struct {
 	// farm.jobs_inflight, farm.jobs_dispatched, farm.jobs_requeued,
 	// farm.steals, farm.results_ok/err/duplicate counters, and the
 	// per-worker farm.worker.<name>.in_flight / .stolen / .requeued /
-	// .heartbeat_age_ms gauges.
+	// .heartbeat_age_ms / .rate_milli gauges (rate_milli is the EWMA
+	// segment throughput in segments-per-second, scaled by 1000).
 	Metrics *obs.Registry
 }
 
@@ -68,12 +70,14 @@ type farmJob struct {
 	segIndex uint32
 	seed     [32]byte
 	req      []byte
+	aux      []byte // fold-leaf payload
 
-	home      uint32 // planned worker at enqueue time (0 = none yet)
-	attempts  int
-	delivered bool
-	done      chan jobOutcome // buffered(1); closed never
-	abandoned bool            // caller gave up (ctx cancelled)
+	home         uint32 // planned worker at enqueue time (0 = none yet)
+	attempts     int
+	delivered    bool
+	done         chan jobOutcome // buffered(1); closed never
+	abandoned    bool            // caller gave up (ctx cancelled)
+	dispatchedAt time.Time       // last dispatch, for throughput sampling
 }
 
 type jobOutcome struct {
@@ -94,14 +98,56 @@ type farmWorker struct {
 	lastBeat time.Time
 	dead     bool
 
+	// rate is an EWMA of this worker's measured segment-proving
+	// throughput (segments/second), sampled on every completed segment
+	// job. Zero until the first sample lands.
+	rate float64
+
 	gInFlight *obs.Gauge
 	gStolen   *obs.Gauge
 	gRequeued *obs.Gauge
 	gBeatAge  *obs.Gauge
+	gRate     *obs.Gauge
 }
 
 // free returns the worker's free job slots.
 func (w *farmWorker) free() int { return w.capacity - len(w.inflight) }
+
+// rateAlpha is the EWMA smoothing factor for worker throughput: each
+// new sample carries 30% of the estimate, so a worker that slows down
+// loses its share within a few completions without thrashing on one
+// noisy sample.
+const rateAlpha = 0.3
+
+// observeRate folds one completed segment job's duration into the
+// worker's throughput estimate.
+func (w *farmWorker) observeRate(elapsed time.Duration) {
+	if elapsed <= 0 {
+		return
+	}
+	sample := 1.0 / elapsed.Seconds()
+	if w.rate <= 0 {
+		w.rate = sample
+	} else {
+		w.rate = rateAlpha*sample + (1-rateAlpha)*w.rate
+	}
+	if w.gRate != nil {
+		w.gRate.Set(int64(w.rate * 1000))
+	}
+}
+
+// expectedScore ranks a worker for dispatch: measured throughput
+// divided by the work already on (and planned for) it — i.e. the
+// inverse of the expected time until this job would complete there.
+// Workers with no sample yet use prior (the fleet's mean measured
+// rate), so new arrivals get work and earn a measurement.
+func (w *farmWorker) expectedScore(prior float64, extra int) float64 {
+	r := w.rate
+	if r <= 0 {
+		r = prior
+	}
+	return r / float64(len(w.inflight)+extra+1)
+}
 
 // Coordinator accepts worker registrations and dispatches proving
 // jobs. It implements core.Backend (ProveContext) and core.ProveFunc
@@ -334,6 +380,7 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	w.gStolen = c.reg.Gauge(prefix + ".stolen")
 	w.gRequeued = c.reg.Gauge(prefix + ".requeued")
 	w.gBeatAge = c.reg.Gauge(prefix + ".heartbeat_age_ms")
+	w.gRate = c.reg.Gauge(prefix + ".rate_milli")
 	w.gInFlight.Set(0)
 	w.gBeatAge.Set(0)
 	c.workers[w.id] = w
@@ -454,6 +501,12 @@ func (c *Coordinator) handleResult(w *farmWorker, res resultMsg) {
 	var out jobOutcome
 	if res.OK {
 		c.cResultsOK.Inc()
+		// Segment completions feed the throughput EWMA the dispatcher
+		// scores workers by. Whole runs and fold leaves have a
+		// different cost scale, so they do not pollute the estimate.
+		if j.mode == jobSegment && !j.dispatchedAt.IsZero() {
+			w.observeRate(time.Since(j.dispatchedAt))
+		}
 		out = jobOutcome{payload: res.Payload}
 	} else {
 		c.cResultsErr.Inc()
@@ -520,6 +573,7 @@ func (c *Coordinator) dispatchLoop() {
 			w.gStolen.Add(1)
 		}
 		w.inflight[j.id] = j
+		j.dispatchedAt = time.Now()
 		w.gInFlight.Set(int64(len(w.inflight)))
 		c.gQueued.Set(int64(len(c.queue)))
 		c.gInflight.Add(1)
@@ -527,23 +581,53 @@ func (c *Coordinator) dispatchLoop() {
 		c.mu.Unlock()
 
 		if err := c.send(w, frameJob, encodeJob(jobMsg{
-			JobID: j.id, Mode: j.mode, SegIndex: j.segIndex, Seed: j.seed, Req: j.req,
+			JobID: j.id, Mode: j.mode, SegIndex: j.segIndex, Seed: j.seed, Req: j.req, Aux: j.aux,
 		})); err != nil {
 			c.killWorker(w, "job write failed")
 		}
 	}
 }
 
-// pickWorkerLocked returns the live worker with the most free slots
-// (nil if none has capacity). c.mu must be held.
+// meanRateLocked returns the mean measured throughput across workers
+// (0 if none has a sample yet). c.mu must be held.
+func (c *Coordinator) meanRateLocked() float64 {
+	var sum float64
+	n := 0
+	for _, w := range c.workers {
+		if w.rate > 0 {
+			sum += w.rate
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// pickWorkerLocked returns the live worker with capacity that is
+// expected to finish a new job soonest: measured throughput (EWMA of
+// segment completions) over current load. Until any throughput sample
+// exists it degrades to the most-free-slots rule; ties go to the
+// lowest worker ID so tests are deterministic. c.mu must be held.
 func (c *Coordinator) pickWorkerLocked() *farmWorker {
+	prior := c.meanRateLocked()
 	var best *farmWorker
+	var bestScore float64
 	for _, w := range c.workers {
 		if w.free() <= 0 {
 			continue
 		}
-		if best == nil || w.free() > best.free() || (w.free() == best.free() && w.id < best.id) {
-			best = w
+		if prior <= 0 {
+			// No measurements anywhere yet: most free slots wins.
+			if best == nil || w.free() > best.free() || (w.free() == best.free() && w.id < best.id) {
+				best = w
+			}
+			continue
+		}
+		score := w.expectedScore(prior, 0)
+		if best == nil || score > bestScore || (score == bestScore && w.id < best.id) {
+			best, bestScore = w, score
 		}
 	}
 	return best
@@ -585,13 +669,14 @@ func (c *Coordinator) monitorLoop() {
 }
 
 // enqueue adds a job to the tail of the queue. The planner assigns a
-// home worker up front — the one with the most free slots counting
-// jobs already planned for it, i.e. where a static capacity-weighted
-// split would put the job. Execution on any other worker counts as a
-// steal; with equal workers and no faults the steal count stays near
-// zero, and it grows exactly when capacity imbalance or failover makes
-// the central queue earn its keep.
-func (c *Coordinator) enqueue(mode byte, segIndex uint32, seed [32]byte, req []byte) (*farmJob, error) {
+// home worker up front — the one expected to finish it soonest given
+// measured throughput and the jobs already planned for it (a static
+// throughput-weighted split; capacity-weighted until measurements
+// exist). Execution on any other worker counts as a steal; with equal
+// workers and no faults the steal count stays near zero, and it grows
+// exactly when throughput imbalance or failover makes the central
+// queue earn its keep.
+func (c *Coordinator) enqueue(mode byte, segIndex uint32, seed [32]byte, req, aux []byte) (*farmJob, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -599,15 +684,24 @@ func (c *Coordinator) enqueue(mode byte, segIndex uint32, seed [32]byte, req []b
 	}
 	c.nextJID++
 	j := &farmJob{
-		id: c.nextJID, mode: mode, segIndex: segIndex, seed: seed, req: req,
+		id: c.nextJID, mode: mode, segIndex: segIndex, seed: seed, req: req, aux: aux,
 		done: make(chan jobOutcome, 1),
 	}
+	prior := c.meanRateLocked()
 	var home *farmWorker
+	var homeScore float64
 	for _, w := range c.workers {
-		if home == nil ||
-			w.capacity-len(w.inflight)-w.planned > home.capacity-len(home.inflight)-home.planned ||
-			(w.capacity-len(w.inflight)-w.planned == home.capacity-len(home.inflight)-home.planned && w.id < home.id) {
-			home = w
+		if prior <= 0 {
+			if home == nil ||
+				w.capacity-len(w.inflight)-w.planned > home.capacity-len(home.inflight)-home.planned ||
+				(w.capacity-len(w.inflight)-w.planned == home.capacity-len(home.inflight)-home.planned && w.id < home.id) {
+				home = w
+			}
+			continue
+		}
+		score := w.expectedScore(prior, w.planned)
+		if home == nil || score > homeScore || (score == homeScore && w.id < home.id) {
+			home, homeScore = w, score
 		}
 	}
 	if home != nil {
@@ -655,7 +749,7 @@ func (c *Coordinator) ProveSeeded(ctx context.Context, prog *zkvm.Program, input
 		}
 		jobs := make([]*farmJob, n)
 		for i := 0; i < n; i++ {
-			j, err := c.enqueue(jobSegment, uint32(i), seed, req)
+			j, err := c.enqueue(jobSegment, uint32(i), seed, req, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -685,7 +779,7 @@ func (c *Coordinator) ProveSeeded(ctx context.Context, prog *zkvm.Program, input
 		}
 		return c.checkReceipt(prog, comp, opts)
 	}
-	j, err := c.enqueue(jobWhole, 0, seed, req)
+	j, err := c.enqueue(jobWhole, 0, seed, req, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -698,6 +792,48 @@ func (c *Coordinator) ProveSeeded(ctx context.Context, prog *zkvm.Program, input
 		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
 	}
 	return c.checkReceipt(prog, receipt, opts)
+}
+
+// FoldLeaves fans the fold leaf stage out across the farm: each
+// segment receipt is dispatched as one jobFoldLeaf — the worker
+// verifies the receipt's seal under vopts and returns its fold-tree
+// leaf digest. The returned digests are in segment order, compatible
+// with fold.Options.Leaves. A lying worker cannot corrupt the fold
+// root: fold.Fold re-derives each leaf digest locally (cheap hashing)
+// and rejects any mismatch, so only seal verification — the expensive
+// part — is outsourced.
+func (c *Coordinator) FoldLeaves(ctx context.Context, prog *zkvm.Program, segs []*zkvm.SegmentReceipt, vopts zkvm.VerifyOptions) ([]gperm.Digest, error) {
+	req := EncodeRequest(prog, nil, zkvm.ProveOptions{})
+	jobs := make([]*farmJob, len(segs))
+	for i, sr := range segs {
+		raw, err := zkvm.MarshalSegmentReceipt(sr)
+		if err != nil {
+			return nil, fmt.Errorf("remote: fold leaf %d: %w", i, err)
+		}
+		j, err := c.enqueue(jobFoldLeaf, uint32(i), [32]byte{}, req, encodeFoldLeaf(vopts, raw))
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = j
+	}
+	leaves := make([]gperm.Digest, len(segs))
+	for i, j := range jobs {
+		payload, err := c.await(ctx, j)
+		if err != nil {
+			for _, rest := range jobs[i+1:] {
+				c.mu.Lock()
+				rest.abandoned = true
+				c.mu.Unlock()
+			}
+			return nil, fmt.Errorf("remote: fold leaf %d: %w", i, err)
+		}
+		d, err := decodeLeafDigest(payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: fold leaf %d: %v", ErrRemote, i, err)
+		}
+		leaves[i] = d
+	}
+	return leaves, nil
 }
 
 // checkReceipt locally re-verifies a farm-assembled receipt before

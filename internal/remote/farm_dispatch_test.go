@@ -61,7 +61,7 @@ func TestFarmDispatchOverhead(t *testing.T) {
 			t0 := time.Now()
 			jobs := make([]*farmJob, tc.jobs)
 			for i := range jobs {
-				j, err := c.enqueue(jobWhole, 0, [32]byte{}, req)
+				j, err := c.enqueue(jobWhole, 0, [32]byte{}, req, nil)
 				if err != nil {
 					t.Fatal(err)
 				}

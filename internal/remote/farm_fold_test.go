@@ -1,0 +1,232 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"zkflow/internal/fold"
+	"zkflow/internal/gperm"
+	"zkflow/internal/obs"
+	"zkflow/internal/zkvm"
+)
+
+// foldFarmComposite proves the shared multi-segment composite the fold
+// farm tests fan out over.
+func foldFarmComposite(t *testing.T) (*zkvm.Program, *zkvm.CompositeReceipt) {
+	t.Helper()
+	prog, input := loopProgram()
+	comp, err := zkvm.ProveSegmentedWithSeed(prog, input, farmOpts(), [32]byte{9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.NumSegments() < 2 {
+		t.Fatalf("want >=2 segments, got %d", comp.NumSegments())
+	}
+	return prog, comp
+}
+
+func TestFarmFoldLeavesMatchLocal(t *testing.T) {
+	c := testFarm(t, nil)
+	startWorker(t, c.Addr(), WorkerConfig{Name: "w1", Capacity: 2})
+	startWorker(t, c.Addr(), WorkerConfig{Name: "w2", Capacity: 2})
+	waitWorkers(t, c, 2)
+
+	prog, comp := foldFarmComposite(t)
+	vopts := zkvm.VerifyOptions{MinChecks: farmOpts().Checks}
+	got, err := c.FoldLeaves(context.Background(), prog, comp.Segments, vopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(comp.Segments) {
+		t.Fatalf("%d leaves for %d segments", len(got), len(comp.Segments))
+	}
+	for i, sr := range comp.Segments {
+		want, err := fold.LeafDigest(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("leaf %d: farm digest differs from local", i)
+		}
+	}
+}
+
+// TestFarmFoldEndToEnd folds a composite with the leaf stage running
+// on the farm and checks the receipt is byte-identical to a purely
+// local fold — worker count and scheduling must not leak into the
+// receipt.
+func TestFarmFoldEndToEnd(t *testing.T) {
+	prog, comp := foldFarmComposite(t)
+	opts := fold.Options{Verify: zkvm.VerifyOptions{MinChecks: farmOpts().Checks}}
+	local, err := fold.Fold(prog, comp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localBytes, _ := local.MarshalBinary()
+
+	c := testFarm(t, nil)
+	startWorker(t, c.Addr(), WorkerConfig{Name: "w1", Capacity: 1})
+	startWorker(t, c.Addr(), WorkerConfig{Name: "w2", Capacity: 1})
+	startWorker(t, c.Addr(), WorkerConfig{Name: "w3", Capacity: 1})
+	waitWorkers(t, c, 3)
+
+	farmed := opts
+	farmed.Leaves = func(p *zkvm.Program, segs []*zkvm.SegmentReceipt) ([]gperm.Digest, error) {
+		return c.FoldLeaves(context.Background(), p, segs, opts.Verify)
+	}
+	fr, err := fold.Fold(prog, comp, farmed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frBytes, _ := fr.MarshalBinary()
+	if !bytes.Equal(frBytes, localBytes) {
+		t.Fatal("farm-leafed fold differs from local fold bytes")
+	}
+	if err := zkvm.VerifyAny(prog, fr, zkvm.VerifyOptions{MinChecks: farmOpts().Checks}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFarmFoldRejectsTamperedLeaf: a worker asked to verify a tampered
+// segment receipt must fail the job, and the failure must surface from
+// FoldLeaves.
+func TestFarmFoldRejectsTamperedLeaf(t *testing.T) {
+	c := testFarm(t, nil)
+	startWorker(t, c.Addr(), WorkerConfig{Capacity: 2})
+	waitWorkers(t, c, 1)
+
+	prog, comp := foldFarmComposite(t)
+	raw, err := zkvm.MarshalSegmentReceipt(comp.Segments[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered, err := zkvm.UnmarshalSegmentReceipt(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered.Journal = append(tampered.Journal, 0xdead)
+	segs := append([]*zkvm.SegmentReceipt{}, comp.Segments...)
+	segs[1] = tampered
+	_, err = c.FoldLeaves(context.Background(), prog, segs, zkvm.VerifyOptions{})
+	if err == nil {
+		t.Fatal("farm accepted a tampered fold leaf")
+	}
+}
+
+// TestFarmFoldRejectsLyingWorker: a worker that verifies nothing and
+// returns a fabricated digest cannot corrupt the fold root — Fold
+// re-derives every leaf digest locally and rejects the mismatch.
+func TestFarmFoldRejectsLyingWorker(t *testing.T) {
+	c := testFarm(t, nil)
+	liar := func(ctx context.Context, job *WorkerJob) ([]byte, error) {
+		return encodeLeafDigest(gperm.Digest{1, 2, 3, 4}), nil
+	}
+	startWorker(t, c.Addr(), WorkerConfig{Name: "liar", Capacity: 2, Prove: liar})
+	waitWorkers(t, c, 1)
+
+	prog, comp := foldFarmComposite(t)
+	opts := fold.Options{
+		Leaves: func(p *zkvm.Program, segs []*zkvm.SegmentReceipt) ([]gperm.Digest, error) {
+			return c.FoldLeaves(context.Background(), p, segs, zkvm.VerifyOptions{})
+		},
+	}
+	_, err := fold.Fold(prog, comp, opts)
+	if !errors.Is(err, fold.ErrReject) {
+		t.Fatalf("want ErrReject for lying leaf worker, got %v", err)
+	}
+}
+
+// TestDispatchThroughputScoring pins the EWMA dispatch rules without
+// networking: measured-fast workers outrank measured-slow ones even
+// with equal free slots, unmeasured workers inherit the fleet mean,
+// and with no samples at all the planner falls back to most-free-slots.
+func TestDispatchThroughputScoring(t *testing.T) {
+	c := NewCoordinator(FarmConfig{})
+	reg := obs.NewRegistry()
+	mk := func(id uint32, capacity int, rate float64) *farmWorker {
+		w := &farmWorker{
+			id: id, capacity: capacity, rate: rate,
+			inflight: make(map[uint64]*farmJob),
+			gRate:    reg.Gauge("test.rate"),
+		}
+		c.workers[id] = w
+		return w
+	}
+
+	// No samples: most free slots wins, lowest ID breaks ties.
+	a := mk(1, 2, 0)
+	b := mk(2, 4, 0)
+	if got := c.pickWorkerLocked(); got != b {
+		t.Fatalf("no-sample fallback picked worker %d, want most-free-slots worker 2", got.id)
+	}
+	b.capacity = 2
+	if got := c.pickWorkerLocked(); got != a {
+		t.Fatalf("no-sample tie picked worker %d, want lowest ID 1", got.id)
+	}
+
+	// a measured 4x faster than b: a wins despite equal load.
+	a.rate, b.rate = 4.0, 1.0
+	if got := c.pickWorkerLocked(); got != a {
+		t.Fatalf("throughput scoring picked worker %d, want fast worker 1", got.id)
+	}
+	// Load a up: 4/(3+1) = 1.0 ties b's 1/(0+1) = 1.0; lowest ID wins.
+	a.inflight[1], a.inflight[2], a.inflight[3] = &farmJob{}, &farmJob{}, &farmJob{}
+	a.capacity = 4
+	if got := c.pickWorkerLocked(); got != a {
+		t.Fatalf("score tie picked worker %d, want lowest ID 1", got.id)
+	}
+	// One more in-flight on a: b is now the sooner finisher.
+	a.inflight[4] = &farmJob{}
+	a.capacity = 5
+	if got := c.pickWorkerLocked(); got != b {
+		t.Fatalf("loaded-fast-worker pick was %d, want slow-but-idle worker 2", got.id)
+	}
+
+	// Unmeasured newcomer inherits the fleet mean: with the mean 2.5
+	// and no load, its score 2.5 beats loaded a (0.8) and idle b (1.0).
+	n := mk(3, 1, 0)
+	if got := c.pickWorkerLocked(); got != n {
+		t.Fatalf("newcomer pick was %d, want prior-scored worker 3", got.id)
+	}
+
+	// The enqueue planner uses the same scoring with planned counts.
+	n.planned = 5 // 2.5/(5+1) < b's 1.0
+	j, err := c.enqueue(jobWhole, 0, [32]byte{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.home != b.id {
+		t.Fatalf("planner homed job to worker %d, want 2", j.home)
+	}
+	if b.planned != 1 {
+		t.Fatalf("planned count %d, want 1", b.planned)
+	}
+}
+
+// TestObserveRateEWMA pins the throughput estimator: first sample
+// initialises, later samples blend at rateAlpha, and the gauge tracks
+// in milli-units.
+func TestObserveRateEWMA(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := &farmWorker{gRate: reg.Gauge("w.rate_milli")}
+	w.observeRate(500 * time.Millisecond) // 2.0 seg/s
+	if w.rate != 2.0 {
+		t.Fatalf("first sample rate %v, want 2.0", w.rate)
+	}
+	w.observeRate(250 * time.Millisecond) // sample 4.0
+	want := rateAlpha*4.0 + (1-rateAlpha)*2.0
+	if diff := w.rate - want; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("blended rate %v, want %v", w.rate, want)
+	}
+	if g := reg.Gauge("w.rate_milli").Value(); g != int64(w.rate*1000) {
+		t.Fatalf("gauge %d, want %d", g, int64(w.rate*1000))
+	}
+	want = w.rate
+	w.observeRate(0) // degenerate sample ignored
+	if w.rate != want {
+		t.Fatalf("zero-elapsed sample changed rate to %v", w.rate)
+	}
+}

@@ -459,28 +459,36 @@ func UnmarshalComposite(data []byte) (*CompositeReceipt, error) {
 	return c, nil
 }
 
-// UnmarshalAnyReceipt decodes either receipt form by its magic.
+// UnmarshalAnyReceipt decodes any receipt form by its magic: the two
+// builtin kinds directly, everything else through the registered
+// receipt-kind decoders (see RegisterReceiptKind).
 func UnmarshalAnyReceipt(data []byte) (AnyReceipt, error) {
 	if len(data) < 4 {
 		return nil, errTruncated
 	}
-	switch binary.LittleEndian.Uint32(data) {
+	switch magic := binary.LittleEndian.Uint32(data); magic {
 	case receiptMagic:
 		return UnmarshalReceipt(data)
 	case compositeMagic:
 		return UnmarshalComposite(data)
 	default:
-		return nil, fmt.Errorf("zkvm: unknown receipt magic %#x", binary.LittleEndian.Uint32(data))
+		if decode := lookupReceiptKind(magic); decode != nil {
+			return decode(data)
+		}
+		return nil, fmt.Errorf("zkvm: unknown receipt magic %#x", magic)
 	}
 }
 
-// VerifyAny verifies either receipt form against the guest program.
+// VerifyAny verifies any receipt form against the guest program.
+// Externally registered kinds verify themselves via SelfVerifier.
 func VerifyAny(prog *Program, r AnyReceipt, opts VerifyOptions) error {
 	switch t := r.(type) {
 	case *Receipt:
 		return Verify(prog, t, opts)
 	case *CompositeReceipt:
 		return VerifyComposite(prog, t, opts)
+	case SelfVerifier:
+		return t.VerifyReceipt(prog, opts)
 	default:
 		return vErr("unknown receipt type %T", r)
 	}
