@@ -170,7 +170,7 @@ func main() {
 					log.Printf("epoch %d aggregation failed: %v", s.Epoch, err)
 					continue
 				}
-				if err := srv.AddAggregation(s.Epoch, res.Receipt); err != nil {
+				if err := srv.AddAggregationResult(res); err != nil {
 					log.Printf("epoch %d: serving receipt: %v", s.Epoch, err)
 					continue
 				}
@@ -221,7 +221,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		if err := srv.AddAggregation(epoch, res.Receipt); err != nil {
+		if err := srv.AddAggregationResult(res); err != nil {
 			return err
 		}
 		logRound(res, time.Since(t0))
@@ -246,7 +246,7 @@ func main() {
 					log.Printf("epoch %d failed: %v", r.Epoch, r.Err)
 					continue
 				}
-				if err := srv.AddAggregation(r.Epoch, r.Result.Receipt); err != nil {
+				if err := srv.AddAggregationResult(r.Result); err != nil {
 					log.Printf("epoch %d: serving receipt: %v", r.Epoch, err)
 					continue
 				}

@@ -181,11 +181,18 @@ var AllErrorCodes = []string{
 
 // servedReceipt is one sealed aggregation round: its wire bytes, the
 // epoch it covered, and the strong ETag the immutable route serves.
+// audit is the round's self-sound form — for folded rounds the
+// retained pre-fold composite, otherwise the receipt bytes themselves
+// (a single or composite receipt is its own audit artifact); nil when
+// a folded round was registered without its composite, in which case
+// the audit route answers 404 and sound auditors cannot escalate.
 type servedReceipt struct {
-	epoch uint64
-	bin   []byte
-	etag  string
-	kind  string
+	epoch     uint64
+	bin       []byte
+	etag      string
+	kind      string
+	audit     []byte
+	auditEtag string
 }
 
 // Server serves the operator's public artifacts.
@@ -219,18 +226,51 @@ func (s *Server) UseRegistry(reg *obs.Registry) { s.metrics = reg }
 // epoch is the epoch the round sealed (AggregationResult.Epoch); it
 // keys the sync-hint and sampling surface.
 func (s *Server) AddAggregation(epoch uint64, r zkvm.AnyReceipt) error {
+	return s.addAggregation(epoch, r, nil)
+}
+
+// AddAggregationResult registers a completed round from its full
+// AggregationResult, retaining the pre-fold composite (when present)
+// as the round's audit artifact at
+// /api/v1/receipts/agg/{round}/audit. Operators serving folded
+// receipts should prefer this over AddAggregation so sound auditors
+// can escalate a folded round to full composite verification; a
+// folded round registered without its composite serves 404 on the
+// audit route and can only be accepted by clients that opted into
+// trusting the operator.
+func (s *Server) AddAggregationResult(res *core.AggregationResult) error {
+	return s.addAggregation(res.Epoch, res.Receipt, res.Composite)
+}
+
+func (s *Server) addAggregation(epoch uint64, r zkvm.AnyReceipt, comp *zkvm.CompositeReceipt) error {
 	bin, err := r.MarshalBinary()
 	if err != nil {
 		return err
 	}
 	sum := sha256.Sum256(bin)
-	s.mu.Lock()
-	s.receipts = append(s.receipts, servedReceipt{
+	rec := servedReceipt{
 		epoch: epoch,
 		bin:   bin,
 		etag:  `"agg-` + hex.EncodeToString(sum[:12]) + `"`,
 		kind:  receiptKindOf(r),
-	})
+	}
+	switch {
+	case comp != nil:
+		audit, err := comp.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		asum := sha256.Sum256(audit)
+		rec.audit = audit
+		rec.auditEtag = `"aud-` + hex.EncodeToString(asum[:12]) + `"`
+	case rec.kind != ReceiptKindFolded:
+		// A single or composite receipt is already self-sound: it is
+		// its own audit form.
+		rec.audit = bin
+		rec.auditEtag = `"aud-` + hex.EncodeToString(sum[:12]) + `"`
+	}
+	s.mu.Lock()
+	s.receipts = append(s.receipts, rec)
 	s.mu.Unlock()
 	return nil
 }
@@ -273,6 +313,7 @@ func (s *Server) routes() []route {
 		{RouteInfo{Name: "checkpoints", Method: http.MethodGet, Pattern: "/api/v1/checkpoints", Probe: "/api/v1/checkpoints", CacheProbe: "/api/v1/checkpoints?epoch=0"}, s.handleCheckpoints},
 		{RouteInfo{Name: "sync_hints", Method: http.MethodGet, Pattern: "/api/v1/sync/hints", Probe: "/api/v1/sync/hints"}, s.handleSyncHints},
 		{RouteInfo{Name: "receipts_agg", Method: http.MethodGet, Pattern: "/api/v1/receipts/agg/{round}", Probe: "/api/v1/receipts/agg/0", CacheProbe: "/api/v1/receipts/agg/0"}, s.handleReceipt},
+		{RouteInfo{Name: "receipts_agg_audit", Method: http.MethodGet, Pattern: "/api/v1/receipts/agg/{round}/audit", Probe: "/api/v1/receipts/agg/0/audit", CacheProbe: "/api/v1/receipts/agg/0/audit"}, s.handleReceiptAudit},
 		{RouteInfo{Name: "query", Method: http.MethodPost, Pattern: "/api/v1/query"}, s.handleQuery},
 		{RouteInfo{Name: "metrics", Method: http.MethodGet, Pattern: "/api/v1/metrics", Probe: "/api/v1/metrics"}, s.handleMetrics},
 		{RouteInfo{Name: "other", Pattern: "/api/v1/"}, func(w http.ResponseWriter, r *http.Request) {
@@ -629,6 +670,41 @@ func (s *Server) handleReceipt(w http.ResponseWriter, r *http.Request) {
 	written, err := w.Write(rec.bin)
 	if err != nil {
 		log.Printf("api: writing receipt %d: %v", n, err)
+	}
+	if s.receiptBytes != nil {
+		s.receiptBytes.Add(uint64(written))
+	}
+}
+
+// handleReceiptAudit serves a round's self-sound audit artifact: the
+// pre-fold composite for folded rounds, the receipt bytes themselves
+// otherwise. 404 when the round exists but the operator did not
+// retain a folded round's composite.
+func (s *Server) handleReceiptAudit(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.PathValue("round"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "round index must be an integer")
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if n < 0 || n >= len(s.receipts) {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("round %d not aggregated yet", n))
+		return
+	}
+	rec := s.receipts[n]
+	if rec.audit == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("round %d has no audit artifact: the operator did not retain the pre-fold composite", n))
+		return
+	}
+	if s.immutable(w, r, rec.auditEtag) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	written, err := w.Write(rec.audit)
+	if err != nil {
+		log.Printf("api: writing audit artifact %d: %v", n, err)
 	}
 	if s.receiptBytes != nil {
 		s.receiptBytes.Add(uint64(written))

@@ -358,6 +358,21 @@ func (c *Client) AggregationReceipt(ctx context.Context, n int) (zkvm.AnyReceipt
 	return zkvm.UnmarshalAnyReceipt(data)
 }
 
+// AggregationAudit fetches round n's self-sound audit artifact: for a
+// folded round the pre-fold composite the operator retained, for a
+// single or composite round the receipt itself. A folded receipt is
+// only a prover-trusted binding, so sound auditors verify the audit
+// artifact in full and cross-check it against the folded statement
+// with fold.AuditBinding. Returns the server's not_found error when
+// the operator did not retain a folded round's composite.
+func (c *Client) AggregationAudit(ctx context.Context, n int) (zkvm.AnyReceipt, error) {
+	data, err := c.get(ctx, fmt.Sprintf("/api/v1/receipts/agg/%d/audit", n))
+	if err != nil {
+		return nil, err
+	}
+	return zkvm.UnmarshalAnyReceipt(data)
+}
+
 // Query submits a SQL query and returns the operator's claimed
 // response plus the decoded receipt (which the caller must verify).
 func (c *Client) Query(ctx context.Context, sql string) (*QueryResponse, *zkvm.Receipt, error) {

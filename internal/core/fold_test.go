@@ -8,9 +8,11 @@ import (
 )
 
 // TestFoldedAggregationEndToEnd: with Fold set, segmented aggregation
-// rounds produce one bounded-size folded receipt each, and the
-// verifier chains them exactly like composites — including under a
-// MinChecks floor, which the fold carries through as InnerChecks.
+// rounds produce one bounded-size folded receipt each plus the
+// retained pre-fold composite. A default verifier refuses the folded
+// receipt (prover-trusted); the sound path verifies the composite —
+// advancing the chain identically, the journals are bit-equal — and
+// cross-checks it against the folded statement with AuditBinding.
 func TestFoldedAggregationEndToEnd(t *testing.T) {
 	opts := Options{Checks: 6, SegmentCycles: 1 << 12, Fold: true}
 	p, v := segPipeline(t, 31, 2, 12, opts)
@@ -27,9 +29,18 @@ func TestFoldedAggregationEndToEnd(t *testing.T) {
 		if fr.NumSegments() < 2 {
 			t.Fatalf("epoch %d folded %d segments, want continuation chain", epoch, fr.Stmt.Segments)
 		}
-		j, err := v.VerifyAggregation(res.Receipt)
+		if res.Composite == nil {
+			t.Fatalf("epoch %d: folded round did not retain its audit composite", epoch)
+		}
+		if _, err := v.VerifyAggregation(res.Receipt); err == nil {
+			t.Fatalf("epoch %d: default verifier accepted a prover-trusted folded receipt", epoch)
+		}
+		if err := fold.AuditBinding(fr, res.Composite); err != nil {
+			t.Fatalf("epoch %d: audit binding: %v", epoch, err)
+		}
+		j, err := v.VerifyAggregation(res.Composite)
 		if err != nil {
-			t.Fatalf("verify epoch %d: %v", epoch, err)
+			t.Fatalf("verify epoch %d via audit composite: %v", epoch, err)
 		}
 		if j.Epoch != uint32(epoch) {
 			t.Fatalf("journal epoch %d", j.Epoch)
@@ -63,6 +74,9 @@ func TestFoldedSchedulerMatchesSerialJournals(t *testing.T) {
 	}
 
 	p, v := segPipeline(t, 32, 2, 10, opts)
+	// The trust opt-in accepts folded receipts on their binding alone —
+	// the explicit operator-trust posture.
+	v.SetAcceptProverTrusted(true)
 	results, err := p.AggregateEpochs([]uint64{0, 1})
 	if err != nil {
 		t.Fatal(err)
@@ -70,6 +84,9 @@ func TestFoldedSchedulerMatchesSerialJournals(t *testing.T) {
 	for i, res := range results {
 		if _, ok := res.Receipt.(*fold.FoldedReceipt); !ok {
 			t.Fatalf("round %d receipt is %T, want folded", i, res.Receipt)
+		}
+		if res.Composite == nil {
+			t.Fatalf("round %d: scheduler dropped the audit composite", i)
 		}
 		if !journalWordsEqual(res.Receipt.JournalWords(), serial[i].Receipt.JournalWords()) {
 			t.Fatalf("round %d: pipelined journal differs from serial", i)

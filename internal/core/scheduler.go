@@ -47,8 +47,9 @@ type pendingEpoch struct {
 }
 
 type sealOutcome struct {
-	receipt zkvm.AnyReceipt
-	err     error
+	receipt   zkvm.AnyReceipt
+	composite *zkvm.CompositeReceipt // pre-fold audit artifact; nil unless folded
+	err       error
 }
 
 // Scheduler pipelines epoch aggregations over a Prover: witness
@@ -160,9 +161,9 @@ func (s *Scheduler) witnessLoop() {
 				<-sealSlots
 			}()
 			span := s.p.met.span("seal")
-			receipt, err := s.p.sealWitness(ex, pe.words)
+			receipt, comp, err := s.p.sealWitness(ex, pe.words)
 			span.End()
-			pe.sealed <- sealOutcome{receipt: receipt, err: err}
+			pe.sealed <- sealOutcome{receipt: receipt, composite: comp, err: err}
 		}(pe, ex)
 		s.pending <- pe
 	}
@@ -244,7 +245,7 @@ func (s *Scheduler) commitLoop() {
 			s.results <- SchedulerResult{Epoch: pe.epoch, Err: commitFailed}
 			continue
 		}
-		res := &AggregationResult{Epoch: pe.epoch, Receipt: out.receipt, Journal: pe.parsed}
+		res := &AggregationResult{Epoch: pe.epoch, Receipt: out.receipt, Composite: out.composite, Journal: pe.parsed}
 		s.p.mu.Lock()
 		s.p.entries = pe.next
 		s.p.history = append(s.p.history, res)
@@ -262,7 +263,7 @@ func (s *Scheduler) commitLoop() {
 // witness execution cannot be re-cut after the fact — trading one
 // cheap emulator pass (a few percent of seal time) for a composite
 // receipt whose slices seal concurrently.
-func (p *Prover) sealWitness(ex *zkvm.Execution, words []uint32) (zkvm.AnyReceipt, error) {
+func (p *Prover) sealWitness(ex *zkvm.Execution, words []uint32) (zkvm.AnyReceipt, *zkvm.CompositeReceipt, error) {
 	po := p.opts.proveOptions()
 	var (
 		receipt zkvm.AnyReceipt
@@ -277,7 +278,7 @@ func (p *Prover) sealWitness(ex *zkvm.Execution, words []uint32) (zkvm.AnyReceip
 		receipt, err = zkvm.ProveExecution(ex, po)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Folding rides in the concurrent seal stage, so its cost overlaps
 	// the next epochs' witness and seal work like sealing itself does.

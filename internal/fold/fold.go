@@ -16,24 +16,43 @@
 // transcript. The emitted receipt has constant size and constant
 // verify cost regardless of N.
 //
-// Soundness model. The chain STARK is the same verifiable
-// sequential-work commitment fastagg uses for aggregate roots: its
-// input is derived from the statement digest, so any mutation of the
-// folded statement (forged fold root, altered journal, exit code, or
-// check count) both changes the expected chain input and breaks the
-// transcript binding — a forger must redo the fold, including the
-// full composite verification, to emit a receipt that passes. The
-// leaf digests make the fold auditable: anyone holding the segment
-// receipts can recompute the tree root and compare (the farm
-// coordinator does exactly this for remotely digested leaves).
-// Downstream, the verifier's journal cross-checks against ledger
-// commitments (core.Verifier, lightsync) are unchanged and remain the
-// end-to-end backstop.
+// Soundness model — read this before relying on a folded receipt.
+// The binding proof is NOT recursive verification: it is a
+// fixed-length sequential-work chain STARK whose input derives from
+// the statement digest. It binds the receipt to one specific
+// Statement — mutating any field (fold root, journal, exit code,
+// check count) changes the expected chain input and breaks the
+// transcript — but nothing in it proves the inner segment seals were
+// ever verified, or even existed. Anyone can run ProveChain over an
+// arbitrary forged Statement at roughly the cost of one verification
+// and emit a FoldedReceipt that passes VerifyReceipt. A folded
+// receipt is therefore a *prover-trusted integrity binding*: it
+// pins down what the prover claims, it does not independently
+// establish that the claim is true.
+//
+// The machinery enforces that distinction instead of leaving it to
+// documentation. FoldedReceipt reports zkvm.ProverTrusted, so
+// zkvm.VerifyAny rejects it unless the caller opts in with
+// VerifyOptions.AcceptProverTrusted; verifiers that want soundness
+// audit the retained composite instead — fetch it (the API serves it
+// at /api/v1/receipts/agg/{round}/audit), run the full composite
+// verification, and cross-check it against the folded statement with
+// AuditBinding. That is what lightsync does for sampled folded
+// rounds by default. The fold's honest value is operational: the
+// prover verifies its own composite once (refusing to publish a
+// round whose seals do not check out), and steady-state consumers
+// that have decided to trust the operator — or that audit a sample —
+// stop paying per segment. Downstream, the verifier's journal
+// cross-checks against ledger commitments (core.Verifier, lightsync)
+// are unchanged and remain the end-to-end backstop for the
+// *contents* of a round, whichever receipt form carried it.
 package fold
 
 import (
+	"crypto/rand"
 	"errors"
 	"fmt"
+	"math/big"
 	"runtime"
 	"sync"
 
@@ -120,9 +139,27 @@ type Options struct {
 	Parallelism int
 	// Leaves, when set, runs the leaf stage remotely (e.g. on the
 	// prover farm). The returned digests are cross-checked locally, so
-	// a faulty worker cannot corrupt the fold root.
+	// a faulty worker cannot corrupt the fold root — but the digest is
+	// a cheap hash of the receipt bytes, so the cross-check cannot
+	// tell whether the worker actually ran the seal verification it
+	// was asked to. SpotChecks bounds that risk.
 	Leaves LeafFunc
+	// SpotChecks is the number of randomly chosen segments whose seals
+	// are re-verified locally after a remote leaf stage, catching a
+	// worker that returns correct digests without doing the
+	// verification work. 0 means DefaultSpotChecks; negative disables
+	// (trusted farm); values above the segment count are capped. A
+	// worker that skips verification on a bad seal survives one fold
+	// with probability at most (1 - bad/N)^SpotChecks per round, and
+	// detection compounds across rounds. Ignored for local leaf
+	// stages, which always verify every seal. Spot checks do not
+	// affect the receipt bytes.
+	SpotChecks int
 }
+
+// DefaultSpotChecks is the per-fold local re-verification sample used
+// when Options.SpotChecks is zero and the leaf stage is remote.
+const DefaultSpotChecks = 2
 
 // ErrReject wraps fold verification failures.
 var ErrReject = errors.New("fold: receipt rejected")
@@ -236,6 +273,11 @@ func Fold(prog *zkvm.Program, c *zkvm.CompositeReceipt, opts Options) (*FoldedRe
 				return nil, fmt.Errorf("%w: segment %d: leaf digest mismatch from remote worker", ErrReject, i)
 			}
 		}
+		// The digest cross-check cannot tell whether the worker ran
+		// the seal verification; re-verify a random sample locally.
+		if err := spotCheckSeals(prog, c.Segments, opts); err != nil {
+			return nil, err
+		}
 	} else {
 		leaves, err = localLeaves(prog, c.Segments, opts)
 		if err != nil {
@@ -243,26 +285,115 @@ func Fold(prog *zkvm.Program, c *zkvm.CompositeReceipt, opts Options) (*FoldedRe
 		}
 	}
 
+	stmt := statementOf(c, exit, FoldDigests(leaves))
+	proof, err := fastagg.ProveChain(chainInput(stmt), ChainRows, stark.DefaultParams, statementTranscript(stmt))
+	if err != nil {
+		return nil, fmt.Errorf("fold: chain proof: %w", err)
+	}
+	return &FoldedReceipt{Stmt: stmt, Chain: proof}, nil
+}
+
+// spotCheckSeals re-verifies SpotChecks randomly chosen segment seals
+// locally after a remote leaf stage. Sampling uses crypto/rand so a
+// verification-skipping worker cannot predict which segments will be
+// checked; it does not touch the fold statement, so receipt bytes
+// stay deterministic.
+func spotCheckSeals(prog *zkvm.Program, segs []*zkvm.SegmentReceipt, opts Options) error {
+	k := opts.SpotChecks
+	if k == 0 {
+		k = DefaultSpotChecks
+	}
+	if k < 0 {
+		return nil
+	}
+	if k > len(segs) {
+		k = len(segs)
+	}
+	perm := make([]int, len(segs))
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j, err := rand.Int(rand.Reader, big.NewInt(int64(len(perm)-i)))
+		if err != nil {
+			return fmt.Errorf("fold: spot-check sampling: %w", err)
+		}
+		pick := i + int(j.Int64())
+		perm[i], perm[pick] = perm[pick], perm[i]
+		idx := perm[i]
+		if err := zkvm.VerifySegment(prog, segs[idx], opts.Verify); err != nil {
+			return fmt.Errorf("%w: spot check: segment %d: %v", ErrReject, idx, err)
+		}
+	}
+	return nil
+}
+
+// statementOf derives the fold statement from a composite's public
+// outputs and the fold root over its segment leaves.
+func statementOf(c *zkvm.CompositeReceipt, exit uint32, root gperm.Digest) Statement {
 	inner := ^uint32(0)
 	for _, sr := range c.Segments {
 		if k := uint32(len(sr.Seal.ExecChecks)); k < inner {
 			inner = k
 		}
 	}
-
-	stmt := Statement{
+	return Statement{
 		Image:       c.Image(),
 		ExitCode:    exit,
 		Journal:     append([]uint32(nil), c.JournalWords()...),
 		Segments:    uint32(len(c.Segments)),
 		InnerChecks: inner,
-		Root:        FoldDigests(leaves),
+		Root:        root,
 	}
-	proof, err := fastagg.ProveChain(chainInput(stmt), ChainRows, stark.DefaultParams, statementTranscript(stmt))
-	if err != nil {
-		return nil, fmt.Errorf("fold: chain proof: %w", err)
+}
+
+// AuditBinding checks that a folded receipt is the fold of exactly
+// this composite: it re-derives the statement (journal, exit code,
+// segment count, minimum check count, and the fold root over the
+// segment leaf digests) from the composite and compares it
+// field-by-field against fr.Stmt. It does NOT verify any seals — the
+// caller establishes the composite's own soundness first (typically
+// zkvm.VerifyAny on the composite), then AuditBinding closes the
+// loop: the self-sound artifact and the prover-trusted folded form
+// describe the same execution. This is the sound escalation path for
+// folded rounds (served at /api/v1/receipts/agg/{round}/audit).
+func AuditBinding(fr *FoldedReceipt, c *zkvm.CompositeReceipt) error {
+	if fr == nil || c == nil {
+		return fmt.Errorf("%w: audit binding: nil receipt", ErrReject)
 	}
-	return &FoldedReceipt{Stmt: stmt, Chain: proof}, nil
+	if err := checkChain(c); err != nil {
+		return err
+	}
+	leaves := make([]gperm.Digest, len(c.Segments))
+	for i, sr := range c.Segments {
+		d, err := LeafDigest(sr)
+		if err != nil {
+			return fmt.Errorf("%w: audit binding: segment %d: %v", ErrReject, i, err)
+		}
+		leaves[i] = d
+	}
+	want := statementOf(c, c.ExitStatus(), FoldDigests(leaves))
+	got := fr.Stmt
+	switch {
+	case got.Image != want.Image:
+		return fmt.Errorf("%w: audit binding: image mismatch", ErrReject)
+	case got.ExitCode != want.ExitCode:
+		return fmt.Errorf("%w: audit binding: exit code %d, composite has %d", ErrReject, got.ExitCode, want.ExitCode)
+	case got.Segments != want.Segments:
+		return fmt.Errorf("%w: audit binding: %d segments, composite has %d", ErrReject, got.Segments, want.Segments)
+	case got.InnerChecks != want.InnerChecks:
+		return fmt.Errorf("%w: audit binding: inner checks %d, composite has %d", ErrReject, got.InnerChecks, want.InnerChecks)
+	case got.Root != want.Root:
+		return fmt.Errorf("%w: audit binding: fold root does not match the composite's segment leaves", ErrReject)
+	case len(got.Journal) != len(want.Journal):
+		return fmt.Errorf("%w: audit binding: journal length %d, composite has %d", ErrReject, len(got.Journal), len(want.Journal))
+	}
+	for i := range want.Journal {
+		if got.Journal[i] != want.Journal[i] {
+			return fmt.Errorf("%w: audit binding: journal word %d differs", ErrReject, i)
+		}
+	}
+	return nil
 }
 
 // statementDigest canonically hashes the fold statement.

@@ -6,7 +6,9 @@ import (
 	"sync"
 	"testing"
 
+	"zkflow/internal/fastagg"
 	"zkflow/internal/gperm"
+	"zkflow/internal/stark"
 	"zkflow/internal/zkvm"
 )
 
@@ -112,10 +114,10 @@ func TestFoldRoundTrip(t *testing.T) {
 	if fr.NumSegments() != len(c.Segments) {
 		t.Fatalf("folded receipt covers %d segments, composite has %d", fr.NumSegments(), len(c.Segments))
 	}
-	if err := zkvm.VerifyAny(prog, fr, zkvm.VerifyOptions{}); err != nil {
+	if err := zkvm.VerifyAny(prog, fr, zkvm.VerifyOptions{AcceptProverTrusted: true}); err != nil {
 		t.Fatalf("verify: %v", err)
 	}
-	if err := zkvm.VerifyAny(prog, fr, zkvm.VerifyOptions{MinChecks: 8}); err != nil {
+	if err := zkvm.VerifyAny(prog, fr, zkvm.VerifyOptions{AcceptProverTrusted: true, MinChecks: 8}); err != nil {
 		t.Fatalf("verify with MinChecks=8: %v", err)
 	}
 
@@ -134,7 +136,7 @@ func TestFoldRoundTrip(t *testing.T) {
 	if !ok {
 		t.Fatalf("registry decoded %T", any)
 	}
-	if err := zkvm.VerifyAny(prog, back, zkvm.VerifyOptions{}); err != nil {
+	if err := zkvm.VerifyAny(prog, back, zkvm.VerifyOptions{AcceptProverTrusted: true}); err != nil {
 		t.Fatalf("verify after round-trip: %v", err)
 	}
 	raw2, err := back.MarshalBinary()
@@ -330,7 +332,7 @@ func TestVerifyRejectsForgedStatement(t *testing.T) {
 		}
 		m := any.(*FoldedReceipt)
 		f(m)
-		if err := zkvm.VerifyAny(prog, m, zkvm.VerifyOptions{}); err == nil {
+		if err := zkvm.VerifyAny(prog, m, zkvm.VerifyOptions{AcceptProverTrusted: true}); err == nil {
 			t.Fatalf("%s: forged statement accepted", name)
 		} else if !errors.Is(err, ErrReject) {
 			t.Fatalf("%s: rejection not wrapped in ErrReject: %v", name, err)
@@ -360,8 +362,127 @@ func TestVerifyRejectsExitAndChecksPolicy(t *testing.T) {
 	prog := foldTestProgram(t)
 	c := testComposite(t, prog)
 	fr := mustFold(t, prog, c, Options{})
-	if err := zkvm.VerifyAny(prog, fr, zkvm.VerifyOptions{MinChecks: int(fr.Stmt.InnerChecks) + 1}); err == nil {
+	if err := zkvm.VerifyAny(prog, fr, zkvm.VerifyOptions{AcceptProverTrusted: true, MinChecks: int(fr.Stmt.InnerChecks) + 1}); err == nil {
 		t.Fatal("MinChecks above InnerChecks accepted")
+	}
+}
+
+// TestVerifyAnyRejectsProverTrustedByDefault: a folded receipt is a
+// prover-trusted binding, so zkvm.VerifyAny must refuse it unless the
+// caller opts in — even a perfectly honest one.
+func TestVerifyAnyRejectsProverTrustedByDefault(t *testing.T) {
+	prog := foldTestProgram(t)
+	fr := mustFold(t, prog, testComposite(t, prog), Options{})
+	err := zkvm.VerifyAny(prog, fr, zkvm.VerifyOptions{})
+	if err == nil {
+		t.Fatal("prover-trusted receipt accepted without opt-in")
+	}
+	if !errors.Is(err, zkvm.ErrVerify) {
+		t.Fatalf("rejection not wrapped in zkvm.ErrVerify: %v", err)
+	}
+}
+
+// TestForgedStatementFoldsButIsGated demonstrates the documented
+// soundness limit and the machinery that contains it: a statement
+// fabricated from thin air — no segments were ever proved, let alone
+// verified — still yields a FoldedReceipt whose own VerifyReceipt
+// passes (the binding proof only binds, it does not attest), and the
+// AcceptProverTrusted gate is what keeps default verifiers from
+// accepting it.
+func TestForgedStatementFoldsButIsGated(t *testing.T) {
+	prog := foldTestProgram(t)
+	forged := Statement{
+		Image:       prog.ID(), // the forger targets the real guest
+		ExitCode:    0,
+		Journal:     []uint32{0xdead, 0xbeef},
+		Segments:    12,
+		InnerChecks: 999,
+		Root:        gperm.HashBytes([]byte("no segments ever existed")),
+	}
+	proof, err := fastagg.ProveChain(chainInput(forged), ChainRows, stark.DefaultParams, statementTranscript(forged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := &FoldedReceipt{Stmt: forged, Chain: proof}
+	if err := fr.VerifyReceipt(prog, zkvm.VerifyOptions{}); err != nil {
+		t.Fatalf("the binding check is expected to pass on a forged statement (it only binds): %v", err)
+	}
+	if err := zkvm.VerifyAny(prog, fr, zkvm.VerifyOptions{}); err == nil {
+		t.Fatal("default VerifyAny accepted a forged folded receipt")
+	}
+	// And the sound escalation path refuses it: the forged statement
+	// cannot be bound to any real composite.
+	if err := AuditBinding(fr, testComposite(t, prog)); err == nil {
+		t.Fatal("AuditBinding accepted a forged statement")
+	}
+}
+
+// TestAuditBinding: the audit cross-check accepts the composite a
+// receipt was folded from and rejects any statement drift.
+func TestAuditBinding(t *testing.T) {
+	prog := foldTestProgram(t)
+	c := testComposite(t, prog)
+	fr := mustFold(t, prog, c, Options{})
+	if err := AuditBinding(fr, c); err != nil {
+		t.Fatalf("audit binding of the true composite: %v", err)
+	}
+	mutate := func(name string, f func(r *FoldedReceipt)) {
+		cp := *fr
+		cp.Stmt.Journal = append([]uint32(nil), fr.Stmt.Journal...)
+		f(&cp)
+		if err := AuditBinding(&cp, c); err == nil {
+			t.Fatalf("%s: audit binding accepted drifted statement", name)
+		} else if !errors.Is(err, ErrReject) {
+			t.Fatalf("%s: rejection not wrapped in ErrReject: %v", name, err)
+		}
+	}
+	mutate("fold root", func(r *FoldedReceipt) { r.Stmt.Root[0] ^= 1 })
+	mutate("journal word", func(r *FoldedReceipt) { r.Stmt.Journal[0] ^= 1 })
+	mutate("journal truncated", func(r *FoldedReceipt) { r.Stmt.Journal = r.Stmt.Journal[:len(r.Stmt.Journal)-1] })
+	mutate("segment count", func(r *FoldedReceipt) { r.Stmt.Segments++ })
+	mutate("inner checks", func(r *FoldedReceipt) { r.Stmt.InnerChecks++ })
+	mutate("image", func(r *FoldedReceipt) { r.Stmt.Image[0] ^= 1 })
+	mutate("exit code", func(r *FoldedReceipt) { r.Stmt.ExitCode = 7 })
+	// A structurally broken composite must also be refused.
+	cc := cloneComposite(t, c)
+	cc.Segments[1].Entry.PC ^= 1
+	if err := AuditBinding(fr, cc); err == nil {
+		t.Fatal("audit binding accepted a composite with broken linkage")
+	}
+}
+
+// TestFoldSpotChecksCatchSkippingWorker: a worker that returns
+// digest-honest leaves WITHOUT running seal verification slips past
+// the digest cross-check by construction; the local spot checks are
+// what catch it. SpotChecks is set to the full segment count so the
+// test is deterministic rather than probabilistic.
+func TestFoldSpotChecksCatchSkippingWorker(t *testing.T) {
+	prog := foldTestProgram(t)
+	cc := cloneComposite(t, testComposite(t, prog))
+	cc.Segments[1].Seal.ExecRoot[3] ^= 1 // invalid seal, valid chain structure
+	skipping := func(p *zkvm.Program, segs []*zkvm.SegmentReceipt) ([]gperm.Digest, error) {
+		out := make([]gperm.Digest, len(segs))
+		for i := range segs {
+			d, err := LeafDigest(segs[i]) // honest digest of the (bad) bytes
+			if err != nil {
+				return nil, err
+			}
+			out[i] = d
+		}
+		return out, nil // zkvm.VerifySegment never ran
+	}
+	_, err := Fold(prog, cc, Options{Leaves: skipping, SpotChecks: len(cc.Segments)})
+	if err == nil {
+		t.Fatal("spot checks missed a verification-skipping worker over a bad seal")
+	}
+	if !errors.Is(err, ErrReject) {
+		t.Fatalf("rejection not wrapped in ErrReject: %v", err)
+	}
+	// Disabling spot checks (a declared trusted farm) is exactly the
+	// configuration that lets the bad seal through — which is why it
+	// must be an explicit opt-out, never the default.
+	if _, err := Fold(prog, cc, Options{Leaves: skipping, SpotChecks: -1}); err != nil {
+		t.Fatalf("SpotChecks: -1 must skip local re-verification: %v", err)
 	}
 }
 

@@ -11,11 +11,21 @@ import (
 // FoldedReceipt is the constant-size product of folding a composite:
 // the public statement plus the binding chain proof. It implements
 // zkvm.AnyReceipt (and zkvm.SelfVerifier), so the ledger, the HTTP
-// API, and the light client handle it like any other receipt kind.
+// API, and the light client handle it like any other receipt kind —
+// but it also implements zkvm.ProverTrusted, because its verification
+// is an integrity binding over a prover-asserted statement, not an
+// independent re-verification of the execution (see the package
+// comment's soundness model). zkvm.VerifyAny therefore rejects it
+// unless the caller opts in with AcceptProverTrusted; sound consumers
+// audit the retained composite via AuditBinding instead.
 type FoldedReceipt struct {
 	Stmt  Statement
 	Chain *fastagg.Proof
 }
+
+// ProverTrusted implements zkvm.ProverTrusted: a folded receipt on
+// its own only demonstrates what the prover claims.
+func (r *FoldedReceipt) ProverTrusted() bool { return true }
 
 func init() {
 	zkvm.RegisterReceiptKind(foldMagic, func(data []byte) (zkvm.AnyReceipt, error) {
@@ -51,7 +61,13 @@ func (r *FoldedReceipt) NumSegments() int { return int(r.Stmt.Segments) }
 
 // VerifyReceipt implements zkvm.SelfVerifier. It is O(1): the cost is
 // one fixed-length chain STARK verification plus statement hashing,
-// independent of how many segments were folded.
+// independent of how many segments were folded. What it establishes
+// is deliberately limited: the receipt is internally consistent and
+// its chain proof binds this exact statement. It does NOT establish
+// that the statement is true — anyone can fold a forged statement
+// (see the package soundness model). Callers reach this only through
+// zkvm.VerifyAny with AcceptProverTrusted set, or by auditing the
+// composite with AuditBinding alongside.
 func (r *FoldedReceipt) VerifyReceipt(prog *zkvm.Program, opts zkvm.VerifyOptions) error {
 	if prog.ID() != r.Stmt.Image {
 		return fmt.Errorf("%w: image ID mismatch: receipt %v, program %v", ErrReject, r.Stmt.Image, prog.ID())

@@ -120,12 +120,21 @@ func (w *farmWorker) free() int { return w.capacity - len(w.inflight) }
 const rateAlpha = 0.3
 
 // observeRate folds one completed segment job's duration into the
-// worker's throughput estimate.
-func (w *farmWorker) observeRate(elapsed time.Duration) {
+// worker's throughput estimate. occupancy is how many segment jobs
+// the worker was running concurrently (including this one) when it
+// finished: a capacity-C worker running C jobs completes each in ~C×
+// the single-job latency while still delivering its full throughput,
+// so the per-job wall time is scaled by occupancy to estimate
+// completions/second. Without this, expectedScore — which divides by
+// in-flight load again — would double-penalize high-capacity workers.
+func (w *farmWorker) observeRate(elapsed time.Duration, occupancy int) {
 	if elapsed <= 0 {
 		return
 	}
-	sample := 1.0 / elapsed.Seconds()
+	if occupancy < 1 {
+		occupancy = 1
+	}
+	sample := float64(occupancy) / elapsed.Seconds()
 	if w.rate <= 0 {
 		w.rate = sample
 	} else {
@@ -505,7 +514,9 @@ func (c *Coordinator) handleResult(w *farmWorker, res resultMsg) {
 		// scores workers by. Whole runs and fold leaves have a
 		// different cost scale, so they do not pollute the estimate.
 		if j.mode == jobSegment && !j.dispatchedAt.IsZero() {
-			w.observeRate(time.Since(j.dispatchedAt))
+			// len(w.inflight) is post-delete, so +1 counts this job in
+			// the worker's concurrent occupancy at completion time.
+			w.observeRate(time.Since(j.dispatchedAt), len(w.inflight)+1)
 		}
 		out = jobOutcome{payload: res.Payload}
 	} else {
@@ -759,16 +770,12 @@ func (c *Coordinator) ProveSeeded(ctx context.Context, prog *zkvm.Program, input
 		for i, j := range jobs {
 			payload, err := c.await(ctx, j)
 			if err != nil {
-				// Abandon the rest of the fan-out before unwinding.
-				for _, rest := range jobs[i+1:] {
-					c.mu.Lock()
-					rest.abandoned = true
-					c.mu.Unlock()
-				}
+				c.abandonJobs(jobs[i+1:])
 				return nil, fmt.Errorf("remote: farm segment %d: %w", i, err)
 			}
 			sr, err := zkvm.UnmarshalSegmentReceipt(payload)
 			if err != nil {
+				c.abandonJobs(jobs[i+1:])
 				return nil, fmt.Errorf("%w: segment %d: %v", ErrRemote, i, err)
 			}
 			receipts[i] = sr
@@ -794,14 +801,32 @@ func (c *Coordinator) ProveSeeded(ctx context.Context, prog *zkvm.Program, input
 	return c.checkReceipt(prog, receipt, opts)
 }
 
+// abandonJobs marks every job in jobs abandoned under the lock, so
+// failover drops them instead of re-queueing work nobody will await.
+// Fan-out callers use it to unwind after a mid-stream error.
+func (c *Coordinator) abandonJobs(jobs []*farmJob) {
+	c.mu.Lock()
+	for _, j := range jobs {
+		j.abandoned = true
+	}
+	c.mu.Unlock()
+}
+
 // FoldLeaves fans the fold leaf stage out across the farm: each
 // segment receipt is dispatched as one jobFoldLeaf — the worker
 // verifies the receipt's seal under vopts and returns its fold-tree
 // leaf digest. The returned digests are in segment order, compatible
-// with fold.Options.Leaves. A lying worker cannot corrupt the fold
-// root: fold.Fold re-derives each leaf digest locally (cheap hashing)
-// and rejects any mismatch, so only seal verification — the expensive
-// part — is outsourced.
+// with fold.Options.Leaves.
+//
+// Trust stance: the digest cross-check in fold.Fold protects the fold
+// root's *integrity* (a lying worker cannot corrupt it), but the
+// digest is a cheap hash of the receipt bytes — it cannot prove the
+// worker actually ran zkvm.VerifySegment, which is the only expensive
+// part and the whole point of the job. A compromised worker can
+// return correct digests while skipping seal verification entirely.
+// Farmed leaf stages therefore require workers trusted to do the
+// work; fold.Options.SpotChecks re-verifies a random sample of seals
+// locally to bound the risk of a silently skipping worker.
 func (c *Coordinator) FoldLeaves(ctx context.Context, prog *zkvm.Program, segs []*zkvm.SegmentReceipt, vopts zkvm.VerifyOptions) ([]gperm.Digest, error) {
 	req := EncodeRequest(prog, nil, zkvm.ProveOptions{})
 	jobs := make([]*farmJob, len(segs))
@@ -820,15 +845,12 @@ func (c *Coordinator) FoldLeaves(ctx context.Context, prog *zkvm.Program, segs [
 	for i, j := range jobs {
 		payload, err := c.await(ctx, j)
 		if err != nil {
-			for _, rest := range jobs[i+1:] {
-				c.mu.Lock()
-				rest.abandoned = true
-				c.mu.Unlock()
-			}
+			c.abandonJobs(jobs[i+1:])
 			return nil, fmt.Errorf("remote: fold leaf %d: %w", i, err)
 		}
 		d, err := decodeLeafDigest(payload)
 		if err != nil {
+			c.abandonJobs(jobs[i+1:])
 			return nil, fmt.Errorf("%w: fold leaf %d: %v", ErrRemote, i, err)
 		}
 		leaves[i] = d
@@ -839,7 +861,10 @@ func (c *Coordinator) FoldLeaves(ctx context.Context, prog *zkvm.Program, segs [
 // checkReceipt locally re-verifies a farm-assembled receipt before
 // handing it to the caller — same trust stance as Client.check: a
 // buggy or compromised worker cannot slip an invalid receipt into the
-// aggregation chain.
+// aggregation chain. AcceptProverTrusted stays off: a worker has no
+// business returning a prover-trusted kind (e.g. a folded receipt)
+// whose verification would not re-establish the execution, so
+// VerifyAny rejecting those by default is exactly right here.
 func (c *Coordinator) checkReceipt(prog *zkvm.Program, receipt zkvm.AnyReceipt, opts zkvm.ProveOptions) (zkvm.AnyReceipt, error) {
 	if receipt.Image() != prog.ID() {
 		return nil, fmt.Errorf("%w: farm returned a receipt for image %v", ErrRemote, receipt.Image())

@@ -85,7 +85,9 @@ func TestFarmFoldEndToEnd(t *testing.T) {
 	if !bytes.Equal(frBytes, localBytes) {
 		t.Fatal("farm-leafed fold differs from local fold bytes")
 	}
-	if err := zkvm.VerifyAny(prog, fr, zkvm.VerifyOptions{MinChecks: farmOpts().Checks}); err != nil {
+	// The fold was built here from a composite we proved ourselves, so
+	// opting into the prover-trusted kind is sound for this check.
+	if err := zkvm.VerifyAny(prog, fr, zkvm.VerifyOptions{MinChecks: farmOpts().Checks, AcceptProverTrusted: true}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -207,16 +209,18 @@ func TestDispatchThroughputScoring(t *testing.T) {
 }
 
 // TestObserveRateEWMA pins the throughput estimator: first sample
-// initialises, later samples blend at rateAlpha, and the gauge tracks
-// in milli-units.
+// initialises, later samples blend at rateAlpha, samples are
+// normalised by the worker's occupancy at completion (so a capacity-C
+// worker is not under-credited by 1/C), and the gauge tracks in
+// milli-units.
 func TestObserveRateEWMA(t *testing.T) {
 	reg := obs.NewRegistry()
 	w := &farmWorker{gRate: reg.Gauge("w.rate_milli")}
-	w.observeRate(500 * time.Millisecond) // 2.0 seg/s
+	w.observeRate(500*time.Millisecond, 1) // 2.0 seg/s
 	if w.rate != 2.0 {
 		t.Fatalf("first sample rate %v, want 2.0", w.rate)
 	}
-	w.observeRate(250 * time.Millisecond) // sample 4.0
+	w.observeRate(250*time.Millisecond, 1) // sample 4.0
 	want := rateAlpha*4.0 + (1-rateAlpha)*2.0
 	if diff := w.rate - want; diff < -1e-9 || diff > 1e-9 {
 		t.Fatalf("blended rate %v, want %v", w.rate, want)
@@ -225,8 +229,22 @@ func TestObserveRateEWMA(t *testing.T) {
 		t.Fatalf("gauge %d, want %d", g, int64(w.rate*1000))
 	}
 	want = w.rate
-	w.observeRate(0) // degenerate sample ignored
+	w.observeRate(0, 1) // degenerate sample ignored
 	if w.rate != want {
 		t.Fatalf("zero-elapsed sample changed rate to %v", w.rate)
+	}
+
+	// Occupancy credit: a job finishing in 500ms while 3 ran
+	// concurrently evidences ~6 seg/s of worker throughput, not 2.
+	w2 := &farmWorker{gRate: reg.Gauge("w2.rate_milli")}
+	w2.observeRate(500*time.Millisecond, 3)
+	if w2.rate != 6.0 {
+		t.Fatalf("occupancy-3 sample rate %v, want 6.0", w2.rate)
+	}
+	// Degenerate occupancy clamps to 1 instead of zeroing the sample.
+	w3 := &farmWorker{gRate: reg.Gauge("w3.rate_milli")}
+	w3.observeRate(500*time.Millisecond, 0)
+	if w3.rate != 2.0 {
+		t.Fatalf("clamped-occupancy sample rate %v, want 2.0", w3.rate)
 	}
 }

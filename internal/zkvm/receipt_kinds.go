@@ -51,6 +51,22 @@ type SelfVerifier interface {
 	VerifyReceipt(prog *Program, opts VerifyOptions) error
 }
 
+// ProverTrusted marks receipt kinds whose VerifyReceipt establishes
+// an integrity binding over a prover-asserted statement but does NOT
+// independently re-verify the guest execution it summarizes (no
+// recursive proof of the inner verifications). Anyone can produce
+// such a receipt for an arbitrary statement at roughly the cost of
+// one verification, so on its own it only demonstrates what the
+// *prover* claims. VerifyAny refuses these kinds unless the caller
+// sets VerifyOptions.AcceptProverTrusted, forcing callers to either
+// audit the underlying self-sound artifact or make the trust
+// assumption explicit.
+type ProverTrusted interface {
+	// ProverTrusted reports whether this receipt's verification is
+	// only sound under a trusted-prover assumption.
+	ProverTrusted() bool
+}
+
 // VerifySegment checks one segment receipt in isolation: its seal
 // binds the committed trace to the entry/exit states it declares.
 // Chain-level rules (genesis, linkage, indices) are the caller's

@@ -480,7 +480,9 @@ func UnmarshalAnyReceipt(data []byte) (AnyReceipt, error) {
 }
 
 // VerifyAny verifies any receipt form against the guest program.
-// Externally registered kinds verify themselves via SelfVerifier.
+// Externally registered kinds verify themselves via SelfVerifier;
+// kinds that are only sound under a trusted prover (ProverTrusted)
+// are rejected unless opts.AcceptProverTrusted is set.
 func VerifyAny(prog *Program, r AnyReceipt, opts VerifyOptions) error {
 	switch t := r.(type) {
 	case *Receipt:
@@ -488,6 +490,10 @@ func VerifyAny(prog *Program, r AnyReceipt, opts VerifyOptions) error {
 	case *CompositeReceipt:
 		return VerifyComposite(prog, t, opts)
 	case SelfVerifier:
+		if pt, ok := t.(ProverTrusted); ok && pt.ProverTrusted() && !opts.AcceptProverTrusted {
+			return vErr("receipt kind %T is sound only under a trusted prover; "+
+				"audit its self-sound form instead, or opt in with VerifyOptions.AcceptProverTrusted", r)
+		}
 		return t.VerifyReceipt(prog, opts)
 	default:
 		return vErr("unknown receipt type %T", r)
