@@ -178,6 +178,7 @@ type BenchReport struct {
 	LightSync     []LightSyncRow `json:"lightsync,omitempty"`
 	Farm          []FarmRow      `json:"farm,omitempty"`
 	Fold          []FoldRow      `json:"fold,omitempty"`
+	Kernel        []KernelRow    `json:"kernel,omitempty"`
 }
 
 // numSegments reports the continuation segment count of a receipt (1
@@ -567,6 +568,7 @@ func expStages(checks int) StageSplit {
 	fmt.Printf("%-16s  %10.1f ms  %6.1f%% (transcript + bookkeeping)\n",
 		"unattributed", split.WallMs-attributed, 100*(split.WallMs-attributed)/split.WallMs)
 	fmt.Printf("%-16s  %10.1f ms\n\n", "wall", split.WallMs)
+	kernelStageSplit()
 	return split
 }
 
@@ -854,7 +856,7 @@ func kb(n int) float64           { return float64(n) / 1024 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|stages|continuations|ingest|lightsync|farm|fold|all")
+		exp      = flag.String("exp", "all", "experiment: fig4|table1|tamper|parallel|pipeline|specialized|profile|stages|continuations|ingest|lightsync|farm|fold|kernel|all")
 		checks   = flag.Int("checks", zkvm.DefaultChecks, "zkVM sampled checks per proof")
 		segCyc   = flag.Int("segment-cycles", 0, "prove sweep aggregations as continuation chains sliced every N cycles (0 = single-segment)")
 		csv      = flag.String("csv", "", "write the Figure 4 series as CSV to this path")
@@ -879,6 +881,7 @@ func main() {
 		report.LightSync = expLightSync(*checks)
 		report.Farm = expFarm(*checks, *farmRecs)
 		report.Fold = expFold(*checks)
+		report.Kernel = expKernel()
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			log.Fatalf("json: %v", err)
@@ -920,6 +923,8 @@ func main() {
 		expFarm(*checks, *farmRecs)
 	case "fold":
 		expFold(*checks)
+	case "kernel":
+		expKernel()
 	case "all":
 		expFig4(*checks, *segCyc, *csv)
 		expTable1(*checks)
@@ -934,6 +939,7 @@ func main() {
 		expLightSync(*checks)
 		expFarm(*checks, *farmRecs)
 		expFold(*checks)
+		expKernel()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -39,6 +39,12 @@
 // worse with their own noise floors, and fold_prove_ms gates like the
 // other proving times.
 //
+// Kernel rows (E20) are direction-aware per op. "ntt" rows gate on
+// ntt_melems_per_sec like throughput — lower is the regression — with
+// an absolute floor so timer wobble on a fast lane cannot fail CI.
+// Chain rows ("agg_chain", "fold_chain") gate agg_proof_ms like the
+// other proving times and agg_verify_ms like the verify times.
+//
 // Stdlib only: this is meant to run in the same bare container as the
 // benchmarks themselves.
 package main
@@ -109,6 +115,15 @@ type foldRow struct {
 	MonoVerifyMs     float64 `json:"mono_verify_ms"`
 }
 
+type kernelRow struct {
+	Op              string  `json:"op"`
+	Size            int     `json:"size"`
+	Parallelism     int     `json:"parallelism"`
+	AggProofMs      float64 `json:"agg_proof_ms"`
+	AggVerifyMs     float64 `json:"agg_verify_ms"`
+	NTTMElemsPerSec float64 `json:"ntt_melems_per_sec"`
+}
+
 type benchReport struct {
 	CPUs      int            `json:"cpus"`
 	Checks    int            `json:"checks"`
@@ -118,6 +133,7 @@ type benchReport struct {
 	LightSync []lightSyncRow `json:"lightsync"`
 	Farm      []farmRow      `json:"farm"`
 	Fold      []foldRow      `json:"fold"`
+	Kernel    []kernelRow    `json:"kernel"`
 }
 
 func load(path string) (*benchReport, error) {
@@ -397,6 +413,47 @@ func main() {
 					"fold: verify not flat across segment counts: %.2f ms .. %.2f ms (%.0f%% spread, cap %.0f%%)",
 					minVer, maxVer, spread, foldFlatnessCapPct))
 			}
+		}
+	}
+
+	if len(newR.Kernel) > 0 {
+		// Kernel gates (E20), direction-aware per op. NTT rows gate
+		// like throughput — LOWER Melem/s is the regression — with an
+		// absolute floor so timer wobble on a fast lane cannot fail
+		// CI. Chain rows gate agg_proof_ms like the other proving
+		// times and agg_verify_ms like the verify times.
+		const nttNoiseFloorMElems = 1.0
+		oldKernel := map[string]kernelRow{}
+		kkey := func(r kernelRow) string {
+			return fmt.Sprintf("%s/n=%d/p=%d", r.Op, r.Size, r.Parallelism)
+		}
+		for _, r := range oldR.Kernel {
+			oldKernel[kkey(r)] = r
+		}
+		fmt.Printf("\n%-24s  %30s  %22s\n", "kernel lane", "proof ms | Melem/s old->new", "verify old->new")
+		for _, n := range newR.Kernel {
+			o, ok := oldKernel[kkey(n)]
+			if !ok {
+				fmt.Printf("%-24s  (no baseline)\n", kkey(n))
+				continue
+			}
+			if n.Op == "ntt" {
+				pct := 0.0
+				if o.NTTMElemsPerSec > 0 {
+					pct = 100 * (n.NTTMElemsPerSec - o.NTTMElemsPerSec) / o.NTTMElemsPerSec
+				}
+				if -pct > *threshold && o.NTTMElemsPerSec-n.NTTMElemsPerSec > nttNoiseFloorMElems {
+					regressions = append(regressions, fmt.Sprintf("kernel[%s]: %.2f -> %.2f Melem/s (%+.1f%%)",
+						kkey(n), o.NTTMElemsPerSec, n.NTTMElemsPerSec, pct))
+				}
+				fmt.Printf("%-24s  %10.2f -> %-10.2f %+5.1f%%\n",
+					kkey(n), o.NTTMElemsPerSec, n.NTTMElemsPerSec, pct)
+				continue
+			}
+			pd := gate(fmt.Sprintf("kernel[%s].agg_proof", kkey(n)), o.AggProofMs, n.AggProofMs)
+			vd := gateVerify(fmt.Sprintf("kernel[%s].agg_verify", kkey(n)), o.AggVerifyMs, n.AggVerifyMs)
+			fmt.Printf("%-24s  %10.1f -> %-10.1f %s  %5.1f -> %-5.1f %s\n",
+				kkey(n), o.AggProofMs, n.AggProofMs, pd, o.AggVerifyMs, n.AggVerifyMs, vd)
 		}
 	}
 

@@ -142,6 +142,9 @@ func (p *Prover) maybeFold(prog *zkvm.Program, receipt zkvm.AnyReceipt) (zkvm.An
 		Verify:      zkvm.VerifyOptions{MinChecks: minChecks},
 		Parallelism: p.opts.Parallelism,
 	}
+	if p.opts.Metrics != nil {
+		fopts.Observer = obs.NewStageRecorder(p.opts.Metrics, "stark.stage.")
+	}
 	if fb, ok := p.opts.Farm.(FoldBackend); ok && p.opts.Prove == nil {
 		fopts.Leaves = func(pr *zkvm.Program, segs []*zkvm.SegmentReceipt) ([]gperm.Digest, error) {
 			return fb.FoldLeaves(context.Background(), pr, segs, fopts.Verify)

@@ -17,6 +17,7 @@ package fastagg
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"zkflow/internal/air"
 	"zkflow/internal/field"
@@ -33,10 +34,27 @@ const (
 	numCols   = 2 * gperm.Width
 )
 
+// rcMemoCap bounds the round-constant memo. The prover only ever sees
+// step*Rounds distinct arguments (the argument (shift*w^i)^(n/Rounds)
+// is periodic over the LDE domain), so the cap exists purely to keep a
+// hostile/degenerate AIR reuse pattern from growing the map unboundedly.
+const rcMemoCap = 4096
+
 // chainAIR constrains the round chain for a fixed (input, output).
+// Its evaluators are safe for concurrent use: the STARK prover calls
+// EvalLocal/EvalTransition from multiple goroutines when composition
+// runs chunk-parallel.
 type chainAIR struct {
 	in, out gperm.State
 	rc      [gperm.Width]air.PeriodicPoly
+
+	// rcMemo caches the twelve evaluated round-constant polynomials
+	// keyed by the shared Horner argument x^(n/Rounds). The argument
+	// takes only step*Rounds distinct values over the whole LDE
+	// domain, so the memo turns ~96 multiplies per composition point
+	// into one map hit.
+	rcMu   sync.RWMutex
+	rcMemo map[field.Elem]*[gperm.Width]field.Elem
 }
 
 func newChainAIR(in, out gperm.State) *chainAIR {
@@ -80,14 +98,41 @@ func (a *chainAIR) EvalTransition(x field.Elem, n int, curr, next, out []field.E
 		sbox[k] = field.Mul(field.Mul(u, u), curr[k]) // (s^3)^2 * s = s^7
 	}
 	arg := field.Exp(x, uint64(n/gperm.Rounds))
+	rcs := a.rcValues(arg)
 	for j := 0; j < gperm.Width; j++ {
 		var acc field.Elem
 		for k := 0; k < gperm.Width; k++ {
 			acc = field.Add(acc, field.Mul(gperm.MDS[j][k], sbox[k]))
 		}
-		acc = field.Add(acc, a.rc[j].EvalWithArg(arg))
+		acc = field.Add(acc, rcs[j])
 		out[j] = field.Sub(next[j], acc)
 	}
+}
+
+// rcValues returns the round-constant column values at Horner argument
+// arg, memoized. The memo only short-circuits recomputation of exact
+// values, so it cannot change a proof bit; the RWMutex keeps it safe
+// under the prover's parallel composition scan.
+func (a *chainAIR) rcValues(arg field.Elem) *[gperm.Width]field.Elem {
+	a.rcMu.RLock()
+	v := a.rcMemo[arg]
+	a.rcMu.RUnlock()
+	if v != nil {
+		return v
+	}
+	vals := new([gperm.Width]field.Elem)
+	for j := 0; j < gperm.Width; j++ {
+		vals[j] = a.rc[j].EvalWithArg(arg)
+	}
+	a.rcMu.Lock()
+	if a.rcMemo == nil {
+		a.rcMemo = make(map[field.Elem]*[gperm.Width]field.Elem, 256)
+	}
+	if len(a.rcMemo) < rcMemoCap {
+		a.rcMemo[arg] = vals
+	}
+	a.rcMu.Unlock()
+	return vals
 }
 
 // Boundaries implements air.AIR: the first row is the public input,
@@ -133,12 +178,15 @@ func ChainOutput(input gperm.State, rounds int) gperm.State {
 }
 
 // buildTrace materialises the trace: row i holds the state after i
-// rounds plus the cube helpers.
+// rounds plus the cube helpers. All cells live in one flat slab (one
+// allocation instead of n), with each row's capacity clipped so an
+// append can never bleed into its neighbour.
 func buildTrace(input gperm.State, n int) [][]field.Elem {
+	cells := make([]field.Elem, n*numCols)
 	trace := make([][]field.Elem, n)
 	s := input
 	for i := 0; i < n; i++ {
-		row := make([]field.Elem, numCols)
+		row := cells[i*numCols : (i+1)*numCols : (i+1)*numCols]
 		copy(row[:stateCols], s[:])
 		for j := 0; j < gperm.Width; j++ {
 			row[stateCols+j] = field.Mul(field.Mul(s[j], s[j]), s[j])

@@ -135,8 +135,13 @@ type Options struct {
 	// Verify is applied to every inner segment seal.
 	Verify zkvm.VerifyOptions
 	// Parallelism bounds the local leaf workers (verify + digest per
-	// segment). 0 means GOMAXPROCS.
+	// segment) and the chain STARK's prover fan-out. 0 means
+	// GOMAXPROCS. Receipts are byte-identical at any value.
 	Parallelism int
+	// Observer, when non-nil, receives per-substage wall times from
+	// the chain STARK prover (see stark.Stages). Telemetry only; it
+	// does not affect the receipt.
+	Observer stark.StageObserver
 	// Leaves, when set, runs the leaf stage remotely (e.g. on the
 	// prover farm). The returned digests are cross-checked locally, so
 	// a faulty worker cannot corrupt the fold root — but the digest is
@@ -286,7 +291,13 @@ func Fold(prog *zkvm.Program, c *zkvm.CompositeReceipt, opts Options) (*FoldedRe
 	}
 
 	stmt := statementOf(c, exit, FoldDigests(leaves))
-	proof, err := fastagg.ProveChain(chainInput(stmt), ChainRows, stark.DefaultParams, statementTranscript(stmt))
+	// The proof-shape parameters stay pinned to DefaultParams;
+	// Parallelism and Observer are prover-side throughput/telemetry
+	// knobs that never reach the transcript or the receipt bytes.
+	chainParams := stark.DefaultParams
+	chainParams.Parallelism = opts.Parallelism
+	chainParams.Observer = opts.Observer
+	proof, err := fastagg.ProveChain(chainInput(stmt), ChainRows, chainParams, statementTranscript(stmt))
 	if err != nil {
 		return nil, fmt.Errorf("fold: chain proof: %w", err)
 	}

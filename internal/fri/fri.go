@@ -13,9 +13,11 @@ package fri
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"zkflow/internal/field"
 	"zkflow/internal/merkle"
+	"zkflow/internal/par"
 	"zkflow/internal/poly"
 	"zkflow/internal/transcript"
 )
@@ -28,6 +30,12 @@ type Params struct {
 	// FinalDegree is the degree bound below which the prover sends
 	// the polynomial in the clear instead of folding further.
 	FinalDegree int
+	// Parallelism bounds the prover-side worker fan-out for layer
+	// hashing and folding (0 = GOMAXPROCS, 1 = serial). It is a pure
+	// throughput knob: folds are exact arithmetic over disjoint index
+	// ranges, so the proof bytes are identical at every width. Verify
+	// ignores it.
+	Parallelism int
 }
 
 // DefaultParams are demo-grade parameters.
@@ -99,39 +107,47 @@ func (p *Proof) Size() int {
 	return n
 }
 
-// buildLayer commits one evaluation layer.
-func buildLayer(evals []field.Elem) *merkle.Tree {
+// buildLayer commits one evaluation layer, hashing leaf pairs straight
+// into the tree's arena leaf level (chunk-parallel for wide layers).
+func buildLayer(evals []field.Elem, workers int) *merkle.Tree {
 	half := len(evals) / 2
-	hashes := make([]merkle.Hash, half)
-	for j := 0; j < half; j++ {
-		hashes[j] = merkle.LeafHash(leafBytes(evals[j], evals[j+half]))
-	}
-	return merkle.BuildHashes(hashes)
+	return merkle.BuildLeavesParallel(half, workers, func(leaves []merkle.Hash) {
+		par.ForChunks(workers, half, func(lo, hi int) {
+			var buf [16]byte
+			for j := lo; j < hi; j++ {
+				putElem(buf[:8], evals[j])
+				putElem(buf[8:], evals[j+half])
+				leaves[j] = merkle.LeafHash(buf[:])
+			}
+		})
+	})
 }
 
-// fold halves the evaluation vector:
+// foldInto halves the evaluation vector into out:
 // f'(x^2) = (f(x)+f(-x))/2 + beta*(f(x)-f(-x))/(2x).
-func fold(evals []field.Elem, shift field.Elem, beta field.Elem) []field.Elem {
+// The 1/x ladder comes from the process-wide cache (built by the same
+// chained multiplication the serial loop performed), and the chunks
+// write disjoint index ranges, so the output is bit-identical at any
+// worker count.
+func foldInto(out, evals []field.Elem, shift field.Elem, beta field.Elem, workers int) {
 	n := len(evals)
 	half := n / 2
-	out := make([]field.Elem, half)
-	logN := 0
-	for 1<<logN < n {
-		logN++
+	if len(out) != half {
+		panic("fri: foldInto length mismatch")
 	}
+	logN := bits.Len(uint(n)) - 1
 	w := field.RootOfUnity(logN)
 	inv2 := field.Inv(field.New(2))
-	xInv := field.Inv(shift)
-	wInv := field.Inv(w)
-	for j := 0; j < half; j++ {
-		fx := evals[j]
-		fmx := evals[j+half]
-		even := field.Mul(field.Add(fx, fmx), inv2)
-		odd := field.Mul(field.Mul(field.Sub(fx, fmx), inv2), xInv)
-		out[j] = field.Add(even, field.Mul(beta, odd))
-		xInv = field.Mul(xInv, wInv)
-	}
-	return out
+	xInv := poly.PowerLadder(field.Inv(shift), field.Inv(w), half)
+	par.ForChunks(workers, half, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			fx := evals[j]
+			fmx := evals[j+half]
+			even := field.Mul(field.Add(fx, fmx), inv2)
+			odd := field.Mul(field.Mul(field.Sub(fx, fmx), inv2), xInv[j])
+			out[j] = field.Add(even, field.Mul(beta, odd))
+		}
+	})
 }
 
 // Prove runs the commit and query phases over evals (length a power
@@ -150,7 +166,13 @@ func Prove(evals []field.Elem, degreeBound int, shift field.Elem, tr *transcript
 		params = DefaultParams
 	}
 
-	// Commit phase.
+	workers := params.Parallelism
+
+	// Commit phase. Layer 0 is the caller's evals (never recycled or
+	// mutated); every subsequent layer lives in a pooled scratch slice
+	// recycled after the query phase, and layer trees are arena-built
+	// and Released once their openings are proved — steady-state FRI
+	// proving allocates only the proof itself.
 	var (
 		trees  []*merkle.Tree
 		layers [][]field.Elem
@@ -160,22 +182,33 @@ func Prove(evals []field.Elem, degreeBound int, shift field.Elem, tr *transcript
 	curShift := shift
 	bound := degreeBound
 	for bound > params.FinalDegree && len(cur) > 2 {
-		t := buildLayer(cur)
+		t := buildLayer(cur, workers)
 		trees = append(trees, t)
 		layers = append(layers, cur)
 		root := t.Root()
 		proof.Roots = append(proof.Roots, root)
 		tr.Append("fri-root", root[:])
 		beta := tr.ChallengeElem("fri-beta")
-		cur = fold(cur, curShift, beta)
+		next := poly.GetBuf(len(cur) / 2)
+		foldInto(next, cur, curShift, beta, workers)
+		cur = next
 		curShift = field.Square(curShift)
 		bound /= 2
 	}
-	// Final polynomial in the clear.
-	final := poly.CosetInterpolate(cur, curShift)
-	final = final[:bound] // degree < bound by construction for honest provers
-	proof.Final = final
-	tr.AppendElems("fri-final", final...)
+	// Final polynomial in the clear. Proof.Final must own its memory
+	// (cur may be pooled scratch), so the bound-length prefix is copied
+	// out; when folds happened the interpolation itself runs in place.
+	var final poly.Poly
+	if len(layers) > 0 {
+		final = poly.CosetInterpolateInPlace(cur, curShift)
+	} else {
+		final = poly.CosetInterpolate(cur, curShift)
+	}
+	proof.Final = append(poly.Poly(nil), final[:bound]...)
+	if len(layers) > 0 {
+		poly.PutBuf(cur)
+	}
+	tr.AppendElems("fri-final", proof.Final...)
 
 	// Query phase.
 	positions := tr.ChallengeIndices("fri-query", params.Queries, n/2)
@@ -195,6 +228,17 @@ func Prove(evals []field.Elem, degreeBound int, shift field.Elem, tr *transcript
 			j %= size / 2
 		}
 		proof.Queries = append(proof.Queries, qp)
+	}
+	// Recycle the commit-phase scratch: fold layers (never layer 0,
+	// which the caller owns) and the arena-backed trees. Prove copied
+	// every opened path, so nothing in the proof aliases them.
+	if len(layers) > 1 {
+		for _, l := range layers[1:] {
+			poly.PutBuf(l)
+		}
+	}
+	for _, t := range trees {
+		t.Release()
 	}
 	return &Proof{Roots: proof.Roots, Final: proof.Final, Queries: proof.Queries, Positions: positions}, nil
 }

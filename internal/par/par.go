@@ -1,0 +1,86 @@
+// Package par provides the tiny deterministic fan-out helpers shared
+// by the STARK math kernel (internal/poly, internal/fri,
+// internal/stark). The design contract mirrors the zkvm worker pool:
+// a width of 1 runs everything inline in submission order, so the
+// serial path is the degenerate case of the parallel one, and chunk
+// boundaries depend only on (n, workers) — never on scheduling — so
+// any write pattern indexed by position is deterministic and the
+// emitted bytes are identical at every width.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a parallelism knob: n <= 0 means GOMAXPROCS, and
+// the result is always at least 1.
+func Workers(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Do runs the tasks concurrently across at most workers goroutines
+// and waits for all of them. With one worker the tasks run inline in
+// submission order.
+func Do(workers int, tasks ...func()) {
+	workers = Workers(workers)
+	if workers == 1 || len(tasks) == 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	next := make(chan func())
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				t()
+			}
+		}()
+	}
+	for _, t := range tasks {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+}
+
+// ForChunks splits [0, n) into one contiguous chunk per worker and
+// runs fn over the chunks concurrently. Chunk boundaries depend only
+// on (n, workers), so position-indexed writes are deterministic at
+// any width. Small inputs run inline.
+func ForChunks(workers, n int, fn func(lo, hi int)) {
+	workers = Workers(workers)
+	if workers == 1 || n < 2*workers {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,61 @@
+package poly
+
+import (
+	"testing"
+
+	"zkflow/internal/field"
+)
+
+// TestKernelSteadyStateZeroAllocs is the allocation-regression gate
+// for the transform kernel: with warm twiddle/ladder caches and
+// caller-owned (pooled) buffers, NTT, INTT, NTTInto, CosetEvalInto,
+// and the in-place interpolations must not allocate at all. Before
+// this kernel every CosetEval/Interpolate call allocated a fresh
+// domain-size slice and recomputed every root.
+func TestKernelSteadyStateZeroAllocs(t *testing.T) {
+	const n = 1 << 12
+	shift := field.Elem(field.Generator)
+	p := Poly(randElems(n/4, 77))
+	buf := GetBuf(n)
+	defer PutBuf(buf)
+
+	// Warm every cache the measured calls touch.
+	NTTInto(buf, p)
+	CosetEvalInto(buf, p, shift)
+	CosetInterpolateInPlace(buf, shift)
+
+	if a := testing.AllocsPerRun(10, func() { NTTInto(buf, p) }); a > 0 {
+		t.Fatalf("NTTInto allocates %v per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(10, func() { CosetEvalInto(buf, p, shift) }); a > 0 {
+		t.Fatalf("CosetEvalInto allocates %v per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(10, func() { NTT(buf) }); a > 0 {
+		t.Fatalf("NTT allocates %v per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(10, func() { INTT(buf) }); a > 0 {
+		t.Fatalf("INTT allocates %v per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(10, func() {
+		InterpolateInPlace(buf)
+	}); a > 0 {
+		t.Fatalf("InterpolateInPlace allocates %v per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(10, func() {
+		CosetInterpolateInPlace(buf, shift)
+	}); a > 0 {
+		t.Fatalf("CosetInterpolateInPlace allocates %v per run, want 0", a)
+	}
+}
+
+// TestPooledBufferReuse pins that the pool actually recycles: a
+// get/put cycle at a warm size class must not allocate.
+func TestPooledBufferReuse(t *testing.T) {
+	PutBuf(GetBuf(1 << 10)) // warm the class
+	if a := testing.AllocsPerRun(10, func() {
+		b := GetBuf(1 << 10)
+		PutBuf(b)
+	}); a > 0 {
+		t.Fatalf("warm GetBuf/PutBuf allocates %v per run, want 0", a)
+	}
+}

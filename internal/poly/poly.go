@@ -114,6 +114,38 @@ func ntt(xs []field.Elem, inverse bool) {
 		panic(fmt.Sprintf("poly: NTT size %d is not a power of two", n))
 	}
 	logN := bits.TrailingZeros(uint(n))
+	t := twiddles(logN)
+	tw := t.fwd
+	if inverse {
+		tw = t.inv
+	}
+	bitReverse(xs)
+	for s := 1; s <= logN; s++ {
+		m := 1 << s
+		half := m >> 1
+		stage := tw[half:m]
+		for k := 0; k < n; k += m {
+			field.Butterflies(xs[k:k+half], xs[k+half:k+m], stage)
+		}
+	}
+	if inverse {
+		field.ScaleVec(xs, xs, t.nInv)
+	}
+}
+
+// nttSerialReference is the original textbook radix-2 loop, recomputing
+// every twiddle with a chained multiply. It is retained solely as the
+// differential-test oracle for the table-driven kernel above; the two
+// must agree bit-for-bit on every input.
+func nttSerialReference(xs []field.Elem, inverse bool) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("poly: NTT size %d is not a power of two", n))
+	}
+	logN := bits.TrailingZeros(uint(n))
 	root := field.RootOfUnity(logN)
 	if inverse {
 		root = field.Inv(root)
@@ -141,16 +173,34 @@ func ntt(xs []field.Elem, inverse bool) {
 	}
 }
 
+// NTTInto writes the NTT of src into dst without touching src: it
+// copies the coefficients (zero-padding up to len(dst)) and transforms
+// in place. len(dst) must be a power of two ≥ len(src). This is the
+// allocation-free entry point for callers that own a scratch buffer.
+func NTTInto(dst []field.Elem, src Poly) {
+	if len(dst) < len(src) {
+		panic("poly: NTTInto destination smaller than polynomial")
+	}
+	n := copy(dst, src)
+	clearElems(dst[n:])
+	NTT(dst)
+}
+
 // EvalDomain evaluates p over the subgroup of the given power-of-two
 // size (zero-padding coefficients), returning a fresh slice.
 func EvalDomain(p Poly, size int) []field.Elem {
-	if size < len(p) {
+	out := make([]field.Elem, size)
+	EvalDomainInto(out, p)
+	return out
+}
+
+// EvalDomainInto is EvalDomain writing into caller-owned storage:
+// dst receives p's evaluations over the size-len(dst) subgroup.
+func EvalDomainInto(dst []field.Elem, p Poly) {
+	if len(dst) < len(p) {
 		panic("poly: domain smaller than polynomial")
 	}
-	out := make([]field.Elem, size)
-	copy(out, p)
-	NTT(out)
-	return out
+	NTTInto(dst, p)
 }
 
 // Interpolate recovers the coefficients of the unique polynomial of
@@ -162,35 +212,62 @@ func Interpolate(evals []field.Elem) Poly {
 	return out
 }
 
+// InterpolateInPlace is Interpolate for callers that own evals and do
+// not need them afterwards: the slice is transformed to coefficient
+// form in place and returned, with no copy and no allocation.
+func InterpolateInPlace(evals []field.Elem) Poly {
+	INTT(evals)
+	return Poly(evals)
+}
+
 // CosetEval evaluates p over the coset shift * <w> of the given
 // power-of-two size: output[i] = p(shift * w^i).
 func CosetEval(p Poly, shift field.Elem, size int) []field.Elem {
+	out := make([]field.Elem, size)
+	CosetEvalInto(out, p, shift)
+	return out
+}
+
+// CosetEvalInto is CosetEval writing into caller-owned storage: dst
+// receives p's evaluations over shift * <w> of size len(dst). The
+// coefficient scaling uses the cached power ladder of shift, so the
+// steady-state cost is one MulVec plus the NTT — no allocation.
+func CosetEvalInto(dst []field.Elem, p Poly, shift field.Elem) {
+	size := len(dst)
 	if size < len(p) {
 		panic("poly: coset domain smaller than polynomial")
 	}
-	scaled := make([]field.Elem, size)
-	pow := field.One
-	for i := 0; i < size; i++ {
-		if i < len(p) {
-			scaled[i] = field.Mul(p[i], pow)
-		}
-		pow = field.Mul(pow, shift)
-	}
-	NTT(scaled)
-	return scaled
+	ladder := PowerLadder(field.One, shift, size)
+	field.MulVec(dst[:len(p)], p, ladder[:len(p)])
+	clearElems(dst[len(p):])
+	NTT(dst)
 }
 
 // CosetInterpolate inverts CosetEval: it recovers coefficients of the
 // polynomial whose evaluations over shift * <w> are evals.
 func CosetInterpolate(evals []field.Elem, shift field.Elem) Poly {
-	p := Interpolate(evals)
-	shiftInv := field.Inv(shift)
-	pow := field.One
-	for i := range p {
-		p[i] = field.Mul(p[i], pow)
-		pow = field.Mul(pow, shiftInv)
+	out := make([]field.Elem, len(evals))
+	copy(out, evals)
+	return CosetInterpolateInPlace(out, shift)
+}
+
+// CosetInterpolateInPlace is CosetInterpolate for callers that own
+// evals: the slice is transformed in place and returned as the
+// coefficient form, unscaled through the cached inverse-shift ladder.
+func CosetInterpolateInPlace(evals []field.Elem, shift field.Elem) Poly {
+	INTT(evals)
+	if len(evals) > 0 {
+		ladder := PowerLadder(field.One, field.Inv(shift), len(evals))
+		field.MulVec(evals, evals, ladder)
 	}
-	return p
+	return Poly(evals)
+}
+
+// clearElems zeroes a slice (the padding tail of an Into transform).
+func clearElems(xs []field.Elem) {
+	for i := range xs {
+		xs[i] = 0
+	}
 }
 
 // ZerofierEval returns Z(x) = x^n - 1 evaluated at x, the vanishing

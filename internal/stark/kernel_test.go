@@ -1,0 +1,104 @@
+package stark
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"zkflow/internal/transcript"
+)
+
+// stageCollector records observed substages (mutex-guarded: pipelined
+// provers report concurrently).
+type stageCollector struct {
+	mu   sync.Mutex
+	seen map[string]time.Duration
+}
+
+func (c *stageCollector) ObserveStage(stage string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seen == nil {
+		c.seen = map[string]time.Duration{}
+	}
+	c.seen[stage] += d
+}
+
+// TestProveByteDeterministicAcrossParallelism pins the whole prover —
+// column-parallel LDE, parallel commit, chunked composition, parallel
+// FRI — to the serial formulation: identical proofs at every width.
+func TestProveByteDeterministicAcrossParallelism(t *testing.T) {
+	const n = 256
+	trace, final := fibTrace(n)
+	a := &fibAIR{final: final}
+	copy(a.start[:], trace[0])
+	prove := func(workers int) *Proof {
+		params := DefaultParams
+		params.Parallelism = workers
+		proof, err := Prove(a, trace, transcript.New("fib-par"), params)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return proof
+	}
+	base := prove(1)
+	for _, workers := range []int{2, 4, 7} {
+		got := prove(workers)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("proof at parallelism %d differs from serial", workers)
+		}
+	}
+	if err := Verify(a, base, transcript.New("fib-par"), DefaultParams); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+// TestProveReportsAllStages checks the substage observer hook: one
+// prove must report every stage in Stages with a nonnegative duration,
+// and a nil observer must not be called (it would panic).
+func TestProveReportsAllStages(t *testing.T) {
+	trace, final := fibTrace(64)
+	a := &fibAIR{final: final}
+	copy(a.start[:], trace[0])
+	col := &stageCollector{}
+	params := DefaultParams
+	params.Observer = col
+	if _, err := Prove(a, trace, transcript.New("fib-stages"), params); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Stages {
+		if _, ok := col.seen[s]; !ok {
+			t.Fatalf("stage %q not reported (got %v)", s, col.seen)
+		}
+	}
+	if len(col.seen) != len(Stages) {
+		t.Fatalf("unexpected extra stages: %v", col.seen)
+	}
+}
+
+// TestProveSteadyStateAllocsBounded is the allocation-regression gate
+// for the pooled prover: with warm caches and pools, proving must cost
+// a small bounded number of allocations (proof assembly, transcript,
+// per-chunk row scratch) — not the O(domain * columns) the unpooled
+// kernel paid. The bound has headroom over the measured value; the
+// point is catching a regression back to per-call domain-size
+// allocations (tens of thousands at this size).
+func TestProveSteadyStateAllocsBounded(t *testing.T) {
+	const n = 256
+	trace, final := fibTrace(n)
+	a := &fibAIR{final: final}
+	copy(a.start[:], trace[0])
+	prove := func() {
+		if _, err := Prove(a, trace, transcript.New("fib-allocs"), DefaultParams); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prove() // warm twiddles, ladders, buffer pools, tree arenas
+	allocs := testing.AllocsPerRun(5, prove)
+	// Measured ~700 at n=256 (proof rows, merkle paths, transcript
+	// churn); domain-size regressions show up as 5000+.
+	if allocs > 1500 {
+		t.Fatalf("steady-state Prove allocates %v per run, want <= 1500", allocs)
+	}
+}

@@ -21,12 +21,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"zkflow/internal/air"
 	"zkflow/internal/field"
 	"zkflow/internal/fri"
 	"zkflow/internal/merkle"
+	"zkflow/internal/par"
 	"zkflow/internal/poly"
 	"zkflow/internal/transcript"
 )
@@ -35,6 +37,17 @@ import (
 type Params struct {
 	// FriParams configures the low-degree test.
 	FriParams fri.Params
+	// Parallelism bounds the prover worker fan-out across LDE columns,
+	// composition chunks, and FRI folding (0 = GOMAXPROCS, 1 = serial).
+	// It never changes proof bytes: every split is exact arithmetic
+	// over disjoint index ranges. When it is not 1 the AIR's EvalLocal
+	// and EvalTransition are called from multiple goroutines and must
+	// be safe for concurrent use.
+	Parallelism int
+	// Observer, when non-nil, receives per-substage wall times from
+	// Prove (see Stages). Prover-side telemetry only; it does not
+	// touch the transcript or the proof.
+	Observer StageObserver
 }
 
 // DefaultParams are demo-grade parameters.
@@ -104,22 +117,34 @@ func Prove(a air.AIR, trace [][]field.Elem, tr *transcript.Transcript, params Pa
 	}
 	bound, domain := layout(n, a.MaxDegree())
 	step := domain / n
+	workers := params.Parallelism
 
-	// Column-wise LDE.
+	// Column-wise LDE, columns fanned out across workers. Every buffer
+	// is pooled scratch: the column coefficients are interpolated in
+	// place and the coset evaluation lands straight in the pooled
+	// domain-size slice the column keeps until the proof is assembled.
+	finish := stageTimer(params.Observer, StageLDE)
 	lde := make([][]field.Elem, cols) // lde[c][i]
-	for c := 0; c < cols; c++ {
-		col := make([]field.Elem, n)
-		for i := 0; i < n; i++ {
-			col[i] = trace[i][c]
+	par.ForChunks(workers, cols, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			col := poly.GetBuf(n)
+			for i := 0; i < n; i++ {
+				col[i] = trace[i][c]
+			}
+			coeffs := poly.InterpolateInPlace(col)
+			dst := poly.GetBuf(domain)
+			poly.CosetEvalInto(dst, coeffs, shift)
+			lde[c] = dst
+			poly.PutBuf(col)
 		}
-		coeffs := poly.Interpolate(col)
-		lde[c] = poly.CosetEval(coeffs, shift, domain)
-	}
-	// Row-wise commitment. Rows are serialised into one reused scratch
-	// buffer and hashed straight into the leaf — no per-row []field.Elem
-	// or []byte intermediates survive the loop (fresh buffers are only
-	// built below for the ~q opened query rows).
-	leafHashes := make([]merkle.Hash, domain)
+	})
+	finish()
+
+	// Row-wise commitment. Rows are serialised into per-chunk scratch
+	// and hashed straight into the tree's arena leaf level — no per-row
+	// []field.Elem or []byte intermediates survive the loop (fresh
+	// buffers are only built below for the ~q opened query rows).
+	finish = stageTimer(params.Observer, StageCommit)
 	rowVals := func(i int) []field.Elem {
 		out := make([]field.Elem, cols)
 		for c := 0; c < cols; c++ {
@@ -127,15 +152,19 @@ func Prove(a air.AIR, trace [][]field.Elem, tr *transcript.Transcript, params Pa
 		}
 		return out
 	}
-	rowBuf := make([]byte, 8*cols)
-	for i := 0; i < domain; i++ {
-		for c := 0; c < cols; c++ {
-			binary.LittleEndian.PutUint64(rowBuf[8*c:], uint64(lde[c][i]))
-		}
-		leafHashes[i] = merkle.LeafHash(rowBuf)
-	}
-	traceTree := merkle.BuildHashes(leafHashes)
+	traceTree := merkle.BuildLeavesParallel(domain, workers, func(leaves []merkle.Hash) {
+		par.ForChunks(workers, domain, func(lo, hi int) {
+			rowBuf := make([]byte, 8*cols)
+			for i := lo; i < hi; i++ {
+				for c := 0; c < cols; c++ {
+					binary.LittleEndian.PutUint64(rowBuf[8*c:], uint64(lde[c][i]))
+				}
+				leaves[i] = merkle.LeafHash(rowBuf)
+			}
+		})
+	})
 	root := traceTree.Root()
+	finish()
 
 	tr.Append("trace-root", root[:])
 	tr.AppendUint64("trace-n", uint64(n))
@@ -143,23 +172,25 @@ func Prove(a air.AIR, trace [][]field.Elem, tr *transcript.Transcript, params Pa
 	bnds := a.Boundaries(n)
 	alphas := tr.ChallengeElems("alphas", nLocal+nTrans+len(bnds))
 
-	// Composition evaluation over the LDE domain. The row accessor
-	// fills caller-owned scratch, so the domain-wide scan reuses two
-	// row buffers instead of allocating 2*domain of them.
-	rowInto := func(i int, dst []field.Elem) {
-		for c := 0; c < cols; c++ {
-			dst[c] = lde[c][i]
-		}
-	}
-	comp, err := composition(a, n, domain, step, alphas, bnds, rowInto)
-	if err != nil {
-		return nil, err
-	}
+	// Composition evaluation over the LDE domain.
+	finish = stageTimer(params.Observer, StageComposition)
+	comp := composition(a, n, domain, step, alphas, bnds, lde, workers)
+	finish()
 
-	friProof, err := fri.Prove(comp, bound, shift, tr, params.FriParams)
+	finish = stageTimer(params.Observer, StageFRI)
+	friParams := params.FriParams
+	if friParams.Parallelism == 0 {
+		friParams.Parallelism = params.Parallelism
+	}
+	friProof, err := fri.Prove(comp, bound, shift, tr, friParams)
+	finish()
 	if err != nil {
+		poly.PutBuf(comp)
 		return nil, fmt.Errorf("stark: fri: %w", err)
 	}
+	// fri.Prove copies everything it keeps (roots, final coefficients,
+	// opened values), so the composition scratch can be recycled now.
+	poly.PutBuf(comp)
 
 	// Open the trace rows each FRI query needs: position p, its pair
 	// p+domain/2, and both rotations (+step).
@@ -183,90 +214,125 @@ func Prove(a air.AIR, trace [][]field.Elem, tr *transcript.Transcript, params Pa
 		}
 		proof.Rows = append(proof.Rows, RowOpening{Pos: p, Values: rowVals(p), Path: mp.Path})
 	}
+	// Recycle the LDE columns and the trace tree's arena: the opened
+	// rows were copied by rowVals and Prove copies every path.
+	for _, col := range lde {
+		poly.PutBuf(col)
+	}
+	traceTree.Release()
 	return proof, nil
 }
 
 // composition evaluates the random-linear constraint combination over
-// the whole LDE domain (prover side). row fills dst with the LDE row
-// at index i; the scan owns two scratch rows it reuses for every
-// domain point.
-func composition(a air.AIR, n, domain, step int, alphas []field.Elem, bnds []air.Boundary, row func(i int, dst []field.Elem)) ([]field.Elem, error) {
-	logD := 0
-	for 1<<logD < domain {
-		logD++
-	}
+// the whole LDE domain (prover side), chunk-parallel across workers.
+// The returned slice is pooled scratch owned by the caller (recycle
+// with poly.PutBuf). Chunks write disjoint ranges of the output and
+// all precomputation is exact arithmetic, so the result is
+// bit-identical at any worker count.
+func composition(a air.AIR, n, domain, step int, alphas []field.Elem, bnds []air.Boundary, lde [][]field.Elem, workers int) []field.Elem {
+	logD := bits.Len(uint(domain)) - 1
 	w := field.RootOfUnity(logD)
-	logN := 0
-	for 1<<logN < n {
-		logN++
-	}
+	logN := bits.Len(uint(n)) - 1
 	g := field.RootOfUnity(logN)
 	gLast := field.Exp(g, uint64(n-1))
 
-	// Precompute x_i, full-zerofier inverses (periodic with period
-	// step), and boundary denominators.
-	xs := make([]field.Elem, domain)
-	x := shift
-	for i := 0; i < domain; i++ {
-		xs[i] = x
-		x = field.Mul(x, w)
-	}
-	zfInv := make([]field.Elem, step)
+	// Precompute x_i (the cached, shared coset ladder), full-zerofier
+	// inverses (periodic with period step), and boundary denominators.
+	xs := poly.PowerLadder(shift, w, domain)
+	zfInv := poly.GetBuf(step)
 	for i := 0; i < step; i++ {
 		zfInv[i] = field.Sub(field.Exp(xs[i], uint64(n)), field.One)
 	}
 	field.BatchInv(zfInv)
-	lastDen := make([]field.Elem, domain)
-	for i := range lastDen {
-		lastDen[i] = field.Sub(xs[i], gLast)
-	}
-	bndDen := make([][]field.Elem, len(bnds))
+	lastDen := poly.GetBuf(domain)
+	par.ForChunks(workers, domain, func(lo, hi int) {
+		field.SubScalarVec(lastDen[lo:hi], xs[lo:hi], gLast)
+	})
+
+	// Boundary denominators deduplicated by row: AIRs typically pin
+	// many cells on very few distinct rows (the chain AIR pins 24
+	// cells on rows {0, n-1}), so one inverted domain-size vector per
+	// distinct row replaces one per boundary. Inversion is exact and
+	// unique, so chunked BatchInv matches the serial result bit for
+	// bit.
+	denIdx := make([]int, len(bnds))
+	var denRows []int
 	for k, b := range bnds {
-		pt := field.Exp(g, uint64(b.Row))
-		bndDen[k] = make([]field.Elem, domain)
-		for i := 0; i < domain; i++ {
-			bndDen[k][i] = field.Sub(xs[i], pt)
+		found := -1
+		for d, r := range denRows {
+			if r == b.Row {
+				found = d
+				break
+			}
 		}
-		field.BatchInv(bndDen[k])
+		if found < 0 {
+			found = len(denRows)
+			denRows = append(denRows, b.Row)
+		}
+		denIdx[k] = found
+	}
+	bndDen := make([][]field.Elem, len(denRows))
+	for d, row := range denRows {
+		pt := field.Exp(g, uint64(row))
+		den := poly.GetBuf(domain)
+		par.ForChunks(workers, domain, func(lo, hi int) {
+			field.SubScalarVec(den[lo:hi], xs[lo:hi], pt)
+			field.BatchInv(den[lo:hi])
+		})
+		bndDen[d] = den
 	}
 
 	nLocal, nTrans := a.NumLocal(), a.NumTransition()
-	localOut := make([]field.Elem, nLocal)
-	transOut := make([]field.Elem, nTrans)
 	cols := a.NumColumns()
-	curr := make([]field.Elem, cols)
-	next := make([]field.Elem, cols)
-	comp := make([]field.Elem, domain)
-	for i := 0; i < domain; i++ {
-		row(i, curr)
-		row((i+step)%domain, next)
-		var acc field.Elem
-		ai := 0
-		if nLocal > 0 {
-			a.EvalLocal(xs[i], n, curr, localOut)
-			for _, v := range localOut {
-				acc = field.Add(acc, field.Mul(alphas[ai], field.Mul(v, zfInv[i%step])))
-				ai++
+	comp := poly.GetBuf(domain)
+	par.ForChunks(workers, domain, func(lo, hi int) {
+		curr := poly.GetBuf(cols)
+		next := poly.GetBuf(cols)
+		localOut := make([]field.Elem, nLocal)
+		transOut := make([]field.Elem, nTrans)
+		for i := lo; i < hi; i++ {
+			for c := 0; c < cols; c++ {
+				curr[c] = lde[c][i]
 			}
-		} else {
-			ai += nLocal
-		}
-		if nTrans > 0 {
-			a.EvalTransition(xs[i], n, curr, next, transOut)
-			// 1/Z_trans = (x - g^{n-1}) / (x^n - 1).
-			zt := field.Mul(zfInv[i%step], lastDen[i])
-			for _, v := range transOut {
-				acc = field.Add(acc, field.Mul(alphas[ai], field.Mul(v, zt)))
-				ai++
+			ni := (i + step) % domain
+			for c := 0; c < cols; c++ {
+				next[c] = lde[c][ni]
 			}
+			var acc field.Elem
+			ai := 0
+			if nLocal > 0 {
+				a.EvalLocal(xs[i], n, curr, localOut)
+				for _, v := range localOut {
+					acc = field.Add(acc, field.Mul(alphas[ai], field.Mul(v, zfInv[i%step])))
+					ai++
+				}
+			} else {
+				ai += nLocal
+			}
+			if nTrans > 0 {
+				a.EvalTransition(xs[i], n, curr, next, transOut)
+				// 1/Z_trans = (x - g^{n-1}) / (x^n - 1).
+				zt := field.Mul(zfInv[i%step], lastDen[i])
+				for _, v := range transOut {
+					acc = field.Add(acc, field.Mul(alphas[ai], field.Mul(v, zt)))
+					ai++
+				}
+			}
+			for k, b := range bnds {
+				v := field.Sub(curr[b.Col], b.Value)
+				acc = field.Add(acc, field.Mul(alphas[ai+k], field.Mul(v, bndDen[denIdx[k]][i])))
+			}
+			comp[i] = acc
 		}
-		for k, b := range bnds {
-			v := field.Sub(curr[b.Col], b.Value)
-			acc = field.Add(acc, field.Mul(alphas[ai+k], field.Mul(v, bndDen[k][i])))
-		}
-		comp[i] = acc
+		poly.PutBuf(curr)
+		poly.PutBuf(next)
+	})
+	poly.PutBuf(zfInv)
+	poly.PutBuf(lastDen)
+	for _, den := range bndDen {
+		poly.PutBuf(den)
 	}
-	return comp, nil
+	return comp
 }
 
 // ErrReject wraps all verification failures.
